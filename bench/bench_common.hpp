@@ -1,0 +1,110 @@
+// Shared setup for the figure/table benches.
+//
+// Every bench binary must run standalone (`for b in build/bench/*; do $b;
+// done`), so profiling artifacts are cached on disk after the first bench
+// computes them. All benches share the Table II cluster and the same
+// profiling grid, making their artifacts interchangeable.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "exp/artifact_cache.hpp"
+#include "exp/profiling.hpp"
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+
+namespace amoeba::bench {
+
+inline exp::ClusterConfig bench_cluster() { return exp::default_cluster(); }
+
+inline exp::ProfilingConfig bench_profiling() {
+  exp::ProfilingConfig cfg;
+  cfg.pressure_grid = {0.02, 0.2, 0.4, 0.6, 0.8, 0.92};
+  cfg.load_fractions = {0.05, 0.25, 0.5, 0.75, 1.0};
+  cfg.cell_duration_s = 60.0;
+  cfg.warmup_s = 10.0;
+  cfg.solo_probe_qps = 2.0;
+  return cfg;
+}
+
+inline std::string cache_tag(const exp::ClusterConfig& cluster,
+                             const exp::ProfilingConfig& cfg,
+                             const std::string& extra = {}) {
+  std::ostringstream os;
+  os << "cluster:" << cluster.serverless.cores << '/'
+     << cluster.serverless.pool_memory_mb << '/'
+     << cluster.serverless.disk_bps << '/' << cluster.serverless.net_bps
+     << '/' << cluster.serverless.cold_start_mean_s << '/'
+     << cluster.serverless.cpu_interference << '/'
+     << cluster.serverless.io_efficiency << '/'
+     << cluster.serverless.keep_alive_s << '/' << cluster.seed
+     << " grid:" << cfg.pressure_grid.size() << 'x'
+     << cfg.load_fractions.size() << '/' << cfg.cell_duration_s;
+  if (!extra.empty()) os << ' ' << extra;
+  return os.str();
+}
+
+inline std::string profile_tag(const workload::FunctionProfile& p) {
+  std::ostringstream os;
+  os << p.name << ':' << p.exec.cpu_seconds << '/' << p.exec.io_bytes << '/'
+     << p.exec.net_bytes << '/' << p.peak_load_qps << '/' << p.qos_target_s;
+  return os.str();
+}
+
+/// Meter calibration, cached on disk.
+inline core::MeterCalibration cached_calibration(
+    const exp::ClusterConfig& cluster, const exp::ProfilingConfig& cfg) {
+  const std::string path = exp::default_cache_dir() + "/meters.txt";
+  std::string meters_id;
+  for (auto kind : workload::kAllMeters) {
+    meters_id += " " + profile_tag(workload::meter_profile(kind));
+  }
+  const std::string tag = cache_tag(cluster, cfg, meters_id);
+  if (auto hit = exp::load_calibration(path, tag)) {
+    std::cerr << "[profile-cache] meters: hit\n";
+    return *hit;
+  }
+  std::cerr << "[profile-cache] meters: profiling (one-time)...\n";
+  auto cal = exp::profile_meters(cluster, cfg);
+  exp::save_calibration(path, tag, cal);
+  return cal;
+}
+
+/// Per-service artifacts, cached on disk.
+inline core::ServiceArtifacts cached_artifacts(
+    const workload::FunctionProfile& p, const exp::ClusterConfig& cluster,
+    const core::MeterCalibration& calibration,
+    const exp::ProfilingConfig& cfg) {
+  const std::string path =
+      exp::default_cache_dir() + "/service_" + p.name + ".txt";
+  const std::string tag = cache_tag(cluster, cfg, profile_tag(p));
+  if (auto hit = exp::load_artifacts(path, tag)) {
+    std::cerr << "[profile-cache] " << p.name << ": hit\n";
+    return *hit;
+  }
+  std::cerr << "[profile-cache] " << p.name
+            << ": profiling (one-time)...\n";
+  auto art = exp::profile_service(p, cluster, calibration, cfg);
+  exp::save_artifacts(path, tag, art);
+  return art;
+}
+
+/// The standard managed-run options for the main evaluation scenario.
+inline exp::ManagedRunOptions bench_run_options() {
+  exp::ManagedRunOptions opt;
+  // One compressed diurnal day. 3600 s (24:1 compression) keeps the
+  // uncompressed control timescales (30 s VM boot, 1 s cold start) from
+  // dominating the day's resource economics the way they would in a
+  // shorter run.
+  opt.period_s = 3600.0;
+  opt.duration_days = 1.0;
+  opt.warmup_s = 60.0;
+  opt.with_background = true;
+  opt.background_peak_fraction = 0.30;
+  opt.seed = 42;
+  return opt;
+}
+
+}  // namespace amoeba::bench

@@ -1,0 +1,47 @@
+// Fig. 14 — ablation of the PCA contention monitor: Amoeba-NoM assumes
+// per-resource degradations accumulate, over-predicts serverless latency,
+// switches to serverless later, and therefore burns more IaaS resources.
+// Paper: NoM uses up to 1.77x the CPU and 2.38x the memory of Amoeba.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amoeba;
+  const auto cluster = bench::bench_cluster();
+  const auto prof = bench::bench_profiling();
+  exp::print_banner(std::cout, "Fig. 14",
+                    "Amoeba vs Amoeba-NoM resource usage (vs Nameko)");
+
+  const auto cal = bench::cached_calibration(cluster, prof);
+  const auto opt = bench::bench_run_options();
+
+  exp::Table table({"benchmark", "cpu Amoeba", "cpu NoM", "NoM/Amoeba",
+                    "mem Amoeba", "mem NoM", "NoM/Amoeba"});
+  for (const auto& p : workload::functionbench_suite()) {
+    const auto art = bench::cached_artifacts(p, cluster, cal, prof);
+    const auto amoeba_run = exp::run_managed(p, exp::DeploySystem::kAmoeba,
+                                             cluster, cal, art, opt);
+    const auto nom_run = exp::run_managed(p, exp::DeploySystem::kAmoebaNoM,
+                                          cluster, cal, art, opt);
+    const auto nameko_run = exp::run_managed(p, exp::DeploySystem::kNameko,
+                                             cluster, cal, art, opt);
+    const double cpu_a = amoeba_run.usage.cpu_core_seconds /
+                         nameko_run.usage.cpu_core_seconds;
+    const double cpu_n =
+        nom_run.usage.cpu_core_seconds / nameko_run.usage.cpu_core_seconds;
+    const double mem_a = amoeba_run.usage.memory_mb_seconds /
+                         nameko_run.usage.memory_mb_seconds;
+    const double mem_n = nom_run.usage.memory_mb_seconds /
+                         nameko_run.usage.memory_mb_seconds;
+    table.add_row({p.name, exp::fmt_fixed(cpu_a, 3), exp::fmt_fixed(cpu_n, 3),
+                   exp::fmt_fixed(cpu_n / cpu_a, 2) + "x",
+                   exp::fmt_fixed(mem_a, 3), exp::fmt_fixed(mem_n, 3),
+                   exp::fmt_fixed(mem_n / mem_a, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper's shape: NoM >= Amoeba on every benchmark (up to\n"
+               "1.77x CPU / 2.38x memory) — the pessimistic accumulation\n"
+               "delays the profitable switch to serverless.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Microbenchmarks of the native FunctionBench kernels.
+#include <benchmark/benchmark.h>
+
+#include "kernels/cloud_stor.hpp"
+#include "kernels/dd_io.hpp"
+#include "kernels/float_op.hpp"
+#include "kernels/linpack.hpp"
+#include "kernels/matmul.hpp"
+
+namespace {
+
+using namespace amoeba::kernels;
+
+void BM_FloatOp(benchmark::State& state) {
+  const auto iters = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_float_op(iters, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters) *
+                          state.iterations());
+}
+BENCHMARK(BM_FloatOp)->Arg(100000)->Arg(1000000);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_matmul(n, 1));
+  }
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Linpack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_linpack(n, 1));
+  }
+}
+BENCHMARK(BM_Linpack)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DdIo(benchmark::State& state) {
+  const auto mb = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dd(mb << 20, 1 << 20));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(mb << 20) *
+                          state.iterations());
+}
+BENCHMARK(BM_DdIo)->Arg(4)->Arg(16);
+
+void BM_CloudStor(benchmark::State& state) {
+  const auto mb = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cloud_stor(mb << 20, 256 << 10));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(mb << 20) *
+                          state.iterations());
+}
+BENCHMARK(BM_CloudStor)->Arg(4)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,51 @@
+// Microbenchmarks of the controller's queueing math — these run on every
+// sample period for every service, so they must be cheap.
+#include <benchmark/benchmark.h>
+
+#include "core/queueing.hpp"
+
+namespace {
+
+using namespace amoeba::core::queueing;
+
+void BM_ErlangC(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double lambda = 0.8 * n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erlang_c(lambda, n, 1.0));
+  }
+}
+BENCHMARK(BM_ErlangC)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_WaitQuantile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wait_quantile(0.85 * n, n, 1.0, 0.95));
+  }
+}
+BENCHMARK(BM_WaitQuantile)->Arg(8)->Arg(128)->Arg(1024);
+
+void BM_MaxArrivalRate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_arrival_rate(n, 2.0, 1.0, 0.95));
+  }
+}
+BENCHMARK(BM_MaxArrivalRate)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Eq5FixedPoint(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eq5_lambda(n, 2.0, 1.0, 0.95));
+  }
+}
+BENCHMARK(BM_Eq5FixedPoint)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MinServers(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_servers(100.0, 2.0, 1.0, 0.95));
+  }
+}
+BENCHMARK(BM_MinServers);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Capacity planner: the paper's M/M/N discriminant (Eq. 1–5) as a
+// stand-alone sizing tool.
+//
+//   ./examples/capacity_planner [service_time_s] [qos_target_s] [r]
+//
+// Prints, for a sweep of container counts, the largest arrival rate λ(μ)
+// the serverless pool can hold within the QoS target — the same numbers
+// the deployment controller uses to decide a switch — plus the inverse
+// question: containers needed for a given load.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/prewarm_policy.hpp"
+#include "core/queueing.hpp"
+#include "exp/table.hpp"
+
+using namespace amoeba;
+
+int main(int argc, char** argv) {
+  const double service_s = argc > 1 ? std::atof(argv[1]) : 0.12;
+  const double qos_s = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double r = argc > 3 ? std::atof(argv[3]) : 0.95;
+  if (service_s <= 0.0 || qos_s <= 0.0 || r <= 0.0 || r >= 1.0) {
+    std::cerr << "usage: capacity_planner [service_time_s] [qos_target_s] "
+                 "[r in (0,1)]\n";
+    return 1;
+  }
+  const double mu = 1.0 / service_s;
+  std::cout << "service time " << service_s << " s  (mu = " << mu
+            << "/s), QoS target " << qos_s << " s at the " << r * 100
+            << "%-ile\n\n";
+  if (qos_s <= service_s) {
+    std::cout << "target below the service time: no pool size can hold it; "
+                 "stay on IaaS.\n";
+    return 0;
+  }
+
+  exp::Table table({"containers n", "max load λ(μ) qps", "per-container",
+                    "Eq.5 fixed point"});
+  for (int n : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto lmax = core::queueing::max_arrival_rate(n, mu, qos_s, r);
+    const auto eq5 = core::queueing::eq5_lambda(n, mu, qos_s, r);
+    table.add_row({std::to_string(n),
+                   lmax ? exp::fmt_fixed(*lmax, 2) : "-",
+                   lmax ? exp::fmt_fixed(*lmax / n, 2) : "-",
+                   eq5 ? exp::fmt_fixed(*eq5, 2) : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ninverse: containers needed for a target load\n";
+  exp::Table inv({"load qps", "min containers (Eq.5)",
+                  "prewarm count (Eq.7)"});
+  core::PrewarmPolicy prewarm;
+  for (double load : {1.0, 5.0, 20.0, 50.0, 100.0, 200.0}) {
+    const auto n = core::queueing::min_servers(load, mu, qos_s, r);
+    inv.add_row({exp::fmt_fixed(load, 0), n ? std::to_string(*n) : "-",
+                 std::to_string(prewarm.containers_for(load, qos_s))});
+  }
+  inv.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace amoeba::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: `" << expr << "` at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace amoeba::detail

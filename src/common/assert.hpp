@@ -1,0 +1,55 @@
+// Contract-checking primitives used across the Amoeba library.
+//
+// Following the C++ Core Guidelines (I.6/E.12), preconditions are checked
+// with AMOEBA_EXPECTS and internal invariants with AMOEBA_ASSERT. Both are
+// always on (the library is a research artifact where silent corruption is
+// worse than the branch cost); violations throw `amoeba::ContractError` so
+// tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace amoeba {
+
+/// Thrown when a precondition or invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace amoeba
+
+#define AMOEBA_EXPECTS(cond)                                                \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::amoeba::detail::contract_failure("precondition", #cond, __FILE__,   \
+                                         __LINE__, "");                     \
+  } while (false)
+
+#define AMOEBA_EXPECTS_MSG(cond, msg)                                       \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::amoeba::detail::contract_failure("precondition", #cond, __FILE__,   \
+                                         __LINE__, (msg));                  \
+  } while (false)
+
+#define AMOEBA_ASSERT(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::amoeba::detail::contract_failure("invariant", #cond, __FILE__,      \
+                                         __LINE__, "");                     \
+  } while (false)
+
+#define AMOEBA_ASSERT_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::amoeba::detail::contract_failure("invariant", #cond, __FILE__,      \
+                                         __LINE__, (msg));                  \
+  } while (false)

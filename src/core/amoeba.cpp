@@ -1,0 +1,194 @@
+#include "core/amoeba.hpp"
+
+#include <utility>
+
+namespace amoeba::core {
+
+AmoebaRuntime::AmoebaRuntime(sim::Engine& engine,
+                             serverless::ServerlessPlatform& serverless,
+                             iaas::IaasPlatform& iaas,
+                             MeterCalibration calibration, AmoebaConfig cfg,
+                             sim::Rng rng)
+    : engine_(engine),
+      serverless_(serverless),
+      cfg_(cfg),
+      controller_(cfg.controller),
+      exec_engine_(engine, serverless, iaas, cfg.engine, rng.fork(11)),
+      monitor_(engine, serverless, std::move(calibration), cfg.monitor,
+               rng.fork(12)),
+      accountant_(serverless, iaas) {
+  AMOEBA_EXPECTS(cfg.load_window_s > 0.0);
+
+  // Mirrored (and resident-sampled) completions feed the controller's
+  // weight calibration with queue-free service times.
+  exec_engine_.set_mirror_observer(
+      [this](const std::string& service, const workload::QueryRecord& rec) {
+        const double service_time = rec.breakdown.total() -
+                                    rec.breakdown.queue_s -
+                                    rec.breakdown.cold_start_s;
+        if (service_time <= 0.0) return;
+        controller_.observe_latency(service, measured_load(service),
+                                    monitor_.pressures(), service_time);
+      });
+}
+
+void AmoebaRuntime::add_service(const workload::FunctionProfile& profile,
+                                iaas::VmSpec vm_spec,
+                                ServiceArtifacts artifacts,
+                                int serverless_max_containers) {
+  AMOEBA_EXPECTS_MSG(!started_, "add services before start()");
+  exec_engine_.add_service(profile, vm_spec, serverless_max_containers);
+  controller_.add_service(profile.name, profile.qos_target_s,
+                          std::move(artifacts), cfg_.estimator);
+  ServiceRt rt{
+      .profile = profile,
+      .load = stats::RateEstimator(cfg_.load_window_s),
+      .period_latencies = {},
+      .timeline = {},
+  };
+  services_.emplace(profile.name, std::move(rt));
+}
+
+AmoebaRuntime::ServiceRt& AmoebaRuntime::rt_of(const std::string& service) {
+  auto it = services_.find(service);
+  AMOEBA_EXPECTS_MSG(it != services_.end(), "unknown service: " + service);
+  return it->second;
+}
+
+const AmoebaRuntime::ServiceRt& AmoebaRuntime::rt_of(
+    const std::string& service) const {
+  auto it = services_.find(service);
+  AMOEBA_EXPECTS_MSG(it != services_.end(), "unknown service: " + service);
+  return it->second;
+}
+
+void AmoebaRuntime::start() {
+  AMOEBA_EXPECTS(!started_);
+  started_ = true;
+  monitor_.set_on_sample([this] { on_sample(); });
+  monitor_.start();
+  if (cfg_.timeline_period_s > 0.0) {
+    sample_timelines();
+  }
+}
+
+void AmoebaRuntime::stop() {
+  if (!started_) return;
+  started_ = false;
+  monitor_.stop();
+  if (timeline_event_ != sim::kNoEvent) {
+    engine_.cancel(timeline_event_);
+    timeline_event_ = sim::kNoEvent;
+  }
+}
+
+void AmoebaRuntime::submit(const std::string& service,
+                           workload::QueryCompletionFn on_done) {
+  ServiceRt& rt = rt_of(service);
+  rt.load.record(engine_.now());
+  exec_engine_.submit(
+      service, [this, service, done = std::move(on_done)](
+                   const workload::QueryRecord& rec) {
+        rt_of(service).period_latencies.add(rec.latency());
+        // In serverless mode every user query doubles as a heartbeat.
+        if (exec_engine_.route(service) == DeployMode::kServerless) {
+          const double service_time = rec.breakdown.total() -
+                                      rec.breakdown.queue_s -
+                                      rec.breakdown.cold_start_s;
+          if (service_time > 0.0) {
+            controller_.observe_latency(service, measured_load(service),
+                                        monitor_.pressures(), service_time);
+          }
+        }
+        done(rec);
+      });
+}
+
+double AmoebaRuntime::measured_load(const std::string& service) const {
+  return rt_of(service).load.rate(engine_.now());
+}
+
+void AmoebaRuntime::on_sample() {
+  const auto pressures = monitor_.pressures();
+  for (auto& [name, rt] : services_) {
+    // Pre-switch sampling has served its purpose once the weights are
+    // calibrated; keeping shadow containers alive would waste the very
+    // memory Amoeba is trying to save.
+    if (exec_engine_.mirroring(name) &&
+        controller_.estimator(name).calibrated()) {
+      exec_engine_.set_mirroring(name, false);
+    }
+    if (exec_engine_.transitioning(name)) {
+      rt.period_latencies.clear();
+      continue;
+    }
+    ServiceTickInput input;
+    input.load_qps = rt.load.rate(engine_.now());
+    input.total_pressures = pressures;
+    input.available_containers = exec_engine_.available_containers(name);
+    // Forecast rising load over the switch horizon (Amoeba must start the
+    // VM boot before the serverless pool saturates).
+    input.forecast_load_qps = input.load_qps;
+    if (cfg_.load_anticipation_s > 0.0 && rt.has_prev_load) {
+      const double slope = (input.load_qps - rt.prev_tick_load) /
+                           monitor_.sample_period();
+      if (slope > 0.0) {
+        input.forecast_load_qps =
+            input.load_qps + slope * cfg_.load_anticipation_s;
+      }
+    }
+    rt.prev_tick_load = input.load_qps;
+    rt.has_prev_load = true;
+    // Eq. 8's intent in sample-count form: with fewer than 21 samples a
+    // single accidental cold start owns the 95th percentile and would
+    // misjudge a healthy deployment (the paper's §VI-B scenario), so the
+    // observed-latency backstop stays quiet until the window is dense
+    // enough that one outlier cannot cross it alone.
+    if (rt.period_latencies.size() >= 21) {
+      input.observed_p95 = rt.period_latencies.quantile(0.95);
+    }
+    rt.period_latencies.clear();
+
+    const SwitchDecision decision = controller_.tick(name, input);
+    switch (decision) {
+      case SwitchDecision::kStay:
+        // §V-A: while serverless, keep the Eq. 7 warm set tracking the load
+        // so bursts land on warm containers instead of cold starts.
+        exec_engine_.maintain_warm(name, input.load_qps);
+        break;
+      case SwitchDecision::kSwitchToServerless:
+        exec_engine_.switch_to_serverless(
+            name, input.load_qps, [this, name](bool ok) {
+              if (ok) controller_.set_mode(name, DeployMode::kServerless);
+            });
+        break;
+      case SwitchDecision::kSwitchToIaas:
+        exec_engine_.switch_to_iaas(
+            name, input.load_qps, [this, name](bool ok) {
+              if (ok) controller_.set_mode(name, DeployMode::kIaas);
+            });
+        break;
+    }
+  }
+}
+
+void AmoebaRuntime::sample_timelines() {
+  const double now = engine_.now();
+  for (auto& [name, rt] : services_) {
+    const ServiceUsage u = accountant_.usage(name, now);
+    rt.timeline.load_qps.add(now, rt.load.rate(now));
+    rt.timeline.mode.add(
+        now, exec_engine_.route(name) == DeployMode::kServerless ? 1.0 : 0.0);
+    rt.timeline.cpu_core_seconds.add(now, u.cpu_core_seconds);
+    rt.timeline.memory_mb_seconds.add(now, u.memory_mb_seconds);
+  }
+  timeline_event_ = engine_.schedule_in(cfg_.timeline_period_s,
+                                        [this] { sample_timelines(); });
+}
+
+const ServiceTimeline& AmoebaRuntime::timeline(
+    const std::string& service) const {
+  return rt_of(service).timeline;
+}
+
+}  // namespace amoeba::core

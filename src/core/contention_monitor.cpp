@@ -1,0 +1,145 @@
+#include "core/contention_monitor.hpp"
+
+#include <utility>
+
+namespace amoeba::core {
+
+void ContentionMonitorConfig::validate() const {
+  AMOEBA_EXPECTS(probe_qps > 0.0);
+  AMOEBA_EXPECTS(sample_period_s > 0.0);
+  AMOEBA_EXPECTS(smoothing > 0.0 && smoothing <= 1.0);
+}
+
+ContentionMonitor::ContentionMonitor(sim::Engine& engine,
+                                     serverless::ServerlessPlatform& platform,
+                                     MeterCalibration calibration,
+                                     ContentionMonitorConfig cfg, sim::Rng rng)
+    : engine_(engine),
+      platform_(platform),
+      calibration_(std::move(calibration)),
+      cfg_(cfg),
+      rng_(rng) {
+  cfg_.validate();
+  AMOEBA_EXPECTS_MSG(calibration_.complete(),
+                     "monitor needs all three meter calibration curves");
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    meters_[i].profile =
+        workload::meter_profile(workload::kAllMeters[i]);
+    meters_[i].pressure = calibration_.curves[i]->points().front().pressure;
+  }
+}
+
+ContentionMonitor::~ContentionMonitor() { stop(); }
+
+void ContentionMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    MeterState& m = meters_[i];
+    if (!platform_.has_function(m.profile.name)) {
+      platform_.register_function(m.profile);
+    }
+    const std::string fn = m.profile.name;
+    m.generator = std::make_unique<workload::ConstantLoadGenerator>(
+        engine_, rng_.fork(7000 + i), cfg_.probe_qps, [this, i, fn] {
+          platform_.submit(fn, [this, i](const workload::QueryRecord& rec) {
+            // Exclude queue wait and cold start: the meter measures
+            // contention on the resource, not pool sizing effects.
+            meters_[i].latency_sum += rec.breakdown.total() -
+                                      rec.breakdown.queue_s -
+                                      rec.breakdown.cold_start_s;
+            meters_[i].latency_count += 1;
+          });
+        });
+    m.generator->start();
+  }
+  period_event_ =
+      engine_.schedule_in(cfg_.sample_period_s, [this] { on_period(); });
+}
+
+void ContentionMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& m : meters_) {
+    if (m.generator) m.generator->stop();
+  }
+  if (period_event_ != sim::kNoEvent) {
+    engine_.cancel(period_event_);
+    period_event_ = sim::kNoEvent;
+  }
+}
+
+void ContentionMonitor::on_period() {
+  period_event_ = sim::kNoEvent;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    MeterState& m = meters_[i];
+    if (m.latency_count > 0) {
+      const double mean =
+          m.latency_sum / static_cast<double>(m.latency_count);
+      m.last_mean_latency = mean;
+      // The calibration curve's pressure axis includes the probing load
+      // itself (the meter was the only tenant during profiling), so the
+      // tenants' pressure is the inversion minus the probe's own share.
+      const double self = probe_self_pressure(i);
+      const double floor = calibration_.curves[i]->points().front().pressure;
+      const double raw = std::max(
+          floor, calibration_.curves[i]->pressure_for(mean) - self);
+      m.pressure += cfg_.smoothing * (raw - m.pressure);
+      m.latency_sum = 0.0;
+      m.latency_count = 0;
+    }
+    // No completions this period: keep the previous estimate (the meter
+    // queries are still in flight under extreme contention, which itself
+    // implies high pressure; the next period will catch up).
+  }
+  ++samples_taken_;
+  if (on_sample_) on_sample_();
+  if (running_) {
+    period_event_ =
+        engine_.schedule_in(cfg_.sample_period_s, [this] { on_period(); });
+  }
+}
+
+double ContentionMonitor::probe_self_pressure(std::size_t dim) const {
+  const auto& p = meters_[dim].profile;
+  const auto& cfg = platform_.config();
+  switch (dim) {
+    case kCpuDim:
+      return cfg_.probe_qps * p.exec.cpu_seconds / cfg.cores;
+    case kIoDim:
+      return cfg_.probe_qps * (p.exec.io_bytes + p.code_bytes) /
+             cfg.io_efficiency / cfg.disk_bps;
+    default:
+      return cfg_.probe_qps * (p.exec.net_bytes + p.result_bytes) /
+             cfg.net_efficiency / cfg.net_bps;
+  }
+}
+
+std::array<double, kNumResources> ContentionMonitor::pressures() const {
+  std::array<double, kNumResources> out{};
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    out[i] = meters_[i].pressure;
+  }
+  return out;
+}
+
+std::array<std::optional<double>, kNumResources>
+ContentionMonitor::meter_latencies() const {
+  std::array<std::optional<double>, kNumResources> out;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    out[i] = meters_[i].last_mean_latency;
+  }
+  return out;
+}
+
+std::array<double, kNumResources> ContentionMonitor::probe_cpu_overhead()
+    const {
+  std::array<double, kNumResources> out{};
+  const double cores = platform_.config().cores;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    out[i] = cfg_.probe_qps * meters_[i].profile.exec.cpu_seconds / cores;
+  }
+  return out;
+}
+
+}  // namespace amoeba::core

@@ -1,0 +1,148 @@
+// Contention-aware deployment controller — paper §IV.
+//
+// Per sample period and per microservice the controller:
+//   1. looks up the three latency-surface predictions L_i at the platform's
+//      current (externally attributed) pressures and the service's load;
+//   2. folds them into a per-container capacity μ via Eq. 6 (PCA-calibrated
+//      weights, or pessimistic accumulation in the NoM ablation);
+//   3. evaluates the M/M/N discriminant (Eq. 5) for the service's QoS
+//      target and the containers it could get;
+//   4. decides whether to switch, with hysteresis and a co-tenant safety
+//      check (paper §III: a switch-in must not break any resident
+//      service's QoS).
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/profile_data.hpp"
+#include "core/queueing.hpp"
+#include "core/weight_estimator.hpp"
+
+namespace amoeba::core {
+
+enum class DeployMode : std::uint8_t { kIaas, kServerless };
+
+[[nodiscard]] const char* to_string(DeployMode m) noexcept;
+
+enum class SwitchDecision : std::uint8_t {
+  kStay,
+  kSwitchToServerless,
+  kSwitchToIaas,
+};
+
+[[nodiscard]] const char* to_string(SwitchDecision d) noexcept;
+
+struct ControllerConfig {
+  double qos_percentile = 0.95;  ///< r in Eq. 5 (paper: 95%-ile)
+  /// Switch to serverless only when V_u <= margin · λ_max (safety slack
+  /// against estimation error and load drift).
+  double to_serverless_margin = 0.80;
+  /// Switch back to IaaS when V_u > margin · λ_max.
+  double to_iaas_margin = 0.95;
+  /// Consecutive agreeing ticks required before acting (hysteresis).
+  int hysteresis_ticks = 2;
+  bool co_tenant_check = true;
+  /// An observed p95 above this fraction of the QoS target while on
+  /// serverless also votes for switching back (model-independent backstop).
+  double observed_violation_fraction = 0.98;
+
+  void validate() const;
+};
+
+/// What the runtime must tell the controller about a service each tick.
+struct ServiceTickInput {
+  double load_qps = 0.0;
+  /// Load anticipated by the time a switch could complete (measured load
+  /// extrapolated over hysteresis + VM boot). Used only for the
+  /// switch-back-to-IaaS direction; <= load_qps means "no forecast".
+  double forecast_load_qps = 0.0;
+  /// Platform-total pressures from the contention monitor.
+  std::array<double, kNumResources> total_pressures{};
+  /// Containers the service could use (min of pool headroom and n_max).
+  int available_containers = 1;
+  /// Recent observed 95%-ile latency on the platform currently serving it
+  /// (nullopt when too few samples).
+  std::optional<double> observed_p95;
+};
+
+/// Introspection of one discriminant evaluation (drives Fig. 15).
+struct Evaluation {
+  Features features{};            ///< L_i at (P_ext, V_u)
+  double mu = 0.0;                ///< Eq. 6
+  std::optional<double> lambda_max;  ///< Eq. 5 via robust solver
+  std::array<double, kNumResources> external_pressures{};
+};
+
+class DeploymentController {
+ public:
+  explicit DeploymentController(ControllerConfig cfg);
+
+  /// Register a service. `qos_target_s` is its latency target; artifacts
+  /// come from profiling; `estimator_cfg.enable_pca=false` gives Amoeba-NoM.
+  void add_service(const std::string& name, double qos_target_s,
+                   ServiceArtifacts artifacts,
+                   WeightEstimatorConfig estimator_cfg = {});
+
+  [[nodiscard]] bool has_service(const std::string& name) const;
+
+  /// Heartbeat: an observed service-time sample (queue/cold-start already
+  /// excluded) for PCA calibration, taken at the given load and pressures.
+  void observe_latency(const std::string& name, double load_qps,
+                       const std::array<double, kNumResources>& total_pressures,
+                       double observed_service_s);
+
+  /// One control decision. Also caches the inputs for co-tenant checks.
+  [[nodiscard]] SwitchDecision tick(const std::string& name,
+                                    const ServiceTickInput& input);
+
+  /// Pure evaluation of the discriminant at an arbitrary operating point
+  /// (used by tick, by tests, and by the Fig. 15 error study).
+  [[nodiscard]] Evaluation evaluate(const std::string& name, double load_qps,
+                                    const std::array<double, kNumResources>&
+                                        total_pressures,
+                                    int n_containers,
+                                    bool resident_on_serverless) const;
+
+  [[nodiscard]] DeployMode mode(const std::string& name) const;
+  /// The runtime confirms a switch completed (after prewarm/boot + ack).
+  void set_mode(const std::string& name, DeployMode mode);
+
+  [[nodiscard]] const WeightEstimator& estimator(
+      const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> services() const;
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct ServiceState {
+    double qos_target_s = 0.0;
+    ServiceArtifacts artifacts;
+    WeightEstimator estimator;
+    DeployMode mode = DeployMode::kIaas;
+    int votes_to_serverless = 0;
+    int votes_to_iaas = 0;
+    ServiceTickInput last_input;  ///< cached for co-tenant evaluation
+    bool has_input = false;
+  };
+
+  [[nodiscard]] std::array<double, kNumResources> external_pressures(
+      const ServiceState& st, double load_qps,
+      const std::array<double, kNumResources>& total, bool resident) const;
+
+  [[nodiscard]] bool co_tenants_safe_with(const std::string& candidate,
+                                          const ServiceTickInput& input) const;
+
+  const ServiceState& state_of(const std::string& name) const;
+  ServiceState& state_of(const std::string& name);
+
+  ControllerConfig cfg_;
+  std::map<std::string, ServiceState> services_;
+};
+
+}  // namespace amoeba::core

@@ -1,0 +1,222 @@
+#include "core/hybrid_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amoeba::core {
+
+void HybridEngineConfig::validate() const {
+  AMOEBA_EXPECTS(mirror_fraction >= 0.0 && mirror_fraction <= 1.0);
+  AMOEBA_EXPECTS(prewarm_poll_s > 0.0);
+  AMOEBA_EXPECTS(switch_timeout_s > 0.0);
+}
+
+HybridExecutionEngine::HybridExecutionEngine(
+    sim::Engine& engine, serverless::ServerlessPlatform& serverless,
+    iaas::IaasPlatform& iaas, HybridEngineConfig cfg, sim::Rng rng)
+    : engine_(engine),
+      serverless_(serverless),
+      iaas_(iaas),
+      cfg_(cfg),
+      rng_(rng) {
+  cfg_.validate();
+}
+
+void HybridExecutionEngine::add_service(
+    const workload::FunctionProfile& profile, iaas::VmSpec vm_spec,
+    int serverless_max_containers) {
+  AMOEBA_EXPECTS_MSG(!services_.contains(profile.name),
+                     "service already added");
+  serverless_.register_function(profile, serverless_max_containers);
+  iaas_.register_service(profile, vm_spec);
+
+  ServiceState st;
+  st.profile = profile;
+  st.max_containers = serverless_max_containers;
+  st.route = DeployMode::kIaas;
+  services_.emplace(profile.name, std::move(st));
+
+  // Default mode is IaaS (paper §III step 1): boot the VM now; queries that
+  // arrive before it is ready wait in the boot buffer.
+  const std::string name = profile.name;
+  iaas_.boot(name, [this, name] { flush_boot_buffer(name); });
+}
+
+HybridExecutionEngine::ServiceState& HybridExecutionEngine::state_of(
+    const std::string& service) {
+  auto it = services_.find(service);
+  AMOEBA_EXPECTS_MSG(it != services_.end(), "unknown service: " + service);
+  return it->second;
+}
+
+const HybridExecutionEngine::ServiceState& HybridExecutionEngine::state_of(
+    const std::string& service) const {
+  auto it = services_.find(service);
+  AMOEBA_EXPECTS_MSG(it != services_.end(), "unknown service: " + service);
+  return it->second;
+}
+
+void HybridExecutionEngine::flush_boot_buffer(const std::string& service) {
+  ServiceState& st = state_of(service);
+  while (!st.boot_buffer.empty() && iaas_.is_running(service)) {
+    auto cb = std::move(st.boot_buffer.front());
+    st.boot_buffer.pop_front();
+    iaas_.submit(service, std::move(cb));
+  }
+}
+
+void HybridExecutionEngine::submit(const std::string& service,
+                                   workload::QueryCompletionFn on_done) {
+  ServiceState& st = state_of(service);
+  if (st.route == DeployMode::kServerless) {
+    serverless_.submit(service, std::move(on_done));
+    return;
+  }
+  // IaaS route. Mirror a sampling share to serverless for heartbeat data.
+  if (st.mirroring && cfg_.mirror_fraction > 0.0 &&
+      rng_.uniform() < cfg_.mirror_fraction) {
+    ++mirrored_;
+    serverless_.submit(service,
+                       [this, service](const workload::QueryRecord& rec) {
+                         if (mirror_observer_) mirror_observer_(service, rec);
+                       });
+  }
+  if (iaas_.is_running(service)) {
+    iaas_.submit(service, std::move(on_done));
+  } else {
+    st.boot_buffer.push_back(std::move(on_done));
+  }
+}
+
+DeployMode HybridExecutionEngine::route(const std::string& service) const {
+  return state_of(service).route;
+}
+
+void HybridExecutionEngine::maintain_warm(const std::string& service,
+                                          double load_qps) {
+  if (!cfg_.enable_prewarm) return;
+  ServiceState& st = state_of(service);
+  if (st.route != DeployMode::kServerless || st.switching) return;
+  int n = cfg_.prewarm.containers_for(load_qps, st.profile.qos_target_s);
+  if (st.max_containers > 0) n = std::min(n, st.max_containers);
+  serverless_.prewarm(service, n);
+}
+
+void HybridExecutionEngine::set_mirroring(const std::string& service,
+                                          bool enabled) {
+  state_of(service).mirroring = enabled;
+}
+
+bool HybridExecutionEngine::mirroring(const std::string& service) const {
+  return state_of(service).mirroring;
+}
+
+bool HybridExecutionEngine::transitioning(const std::string& service) const {
+  return state_of(service).switching;
+}
+
+int HybridExecutionEngine::available_containers(
+    const std::string& service) const {
+  const ServiceState& st = state_of(service);
+  const auto counts = serverless_.counts(service);
+  const int mem_bound =
+      counts.total() + serverless_.pool().headroom(st.profile.memory_mb);
+  return st.max_containers > 0 ? std::min(st.max_containers, mem_bound)
+                               : mem_bound;
+}
+
+void HybridExecutionEngine::poll_prewarm(
+    const std::string& service, int needed, double deadline,
+    std::uint64_t generation, std::function<void(bool)> on_complete) {
+  ServiceState& st = state_of(service);
+  if (st.switch_generation != generation) return;  // superseded
+  const auto counts = serverless_.counts(service);
+  const bool warm_enough = counts.idle + counts.busy >= needed;
+  if (warm_enough) {
+    st.switching = false;
+    st.route = DeployMode::kServerless;
+    serverless_.unretire(service);
+    iaas_.drain_and_stop(service);
+    switch_events_.push_back(
+        {engine_.now(), service, DeployMode::kServerless, 0.0});
+    on_complete(true);
+    return;
+  }
+  if (engine_.now() >= deadline) {
+    st.switching = false;  // abort: stay on IaaS
+    on_complete(false);
+    return;
+  }
+  // Keep nudging the pool: evictions/expiry may have freed memory.
+  serverless_.prewarm(service, needed);
+  engine_.schedule_in(cfg_.prewarm_poll_s, [this, service, needed, deadline,
+                                            generation,
+                                            cb = std::move(on_complete)]() mutable {
+    poll_prewarm(service, needed, deadline, generation, std::move(cb));
+  });
+}
+
+void HybridExecutionEngine::switch_to_serverless(
+    const std::string& service, double load_qps,
+    std::function<void(bool)> on_complete) {
+  AMOEBA_EXPECTS(on_complete != nullptr);
+  ServiceState& st = state_of(service);
+  AMOEBA_EXPECTS_MSG(!st.switching, "switch already in progress");
+  AMOEBA_EXPECTS_MSG(st.route == DeployMode::kIaas,
+                     "already on serverless");
+  st.switching = true;
+  const std::uint64_t generation = ++st.switch_generation;
+  serverless_.unretire(service);
+
+  if (!cfg_.enable_prewarm) {
+    // Amoeba-NoP: flip immediately; queries cold-start on arrival.
+    st.switching = false;
+    st.route = DeployMode::kServerless;
+    iaas_.drain_and_stop(service);
+    switch_events_.push_back(
+        {engine_.now(), service, DeployMode::kServerless, load_qps});
+    on_complete(true);
+    return;
+  }
+
+  const int needed = cfg_.prewarm.containers_for(load_qps,
+                                                 st.profile.qos_target_s);
+  const double deadline = engine_.now() + cfg_.switch_timeout_s;
+  serverless_.prewarm(service, needed);
+  // Record the load on the event when it completes (poll_prewarm logs 0.0;
+  // patch it afterwards via the completion wrapper).
+  poll_prewarm(service, needed, deadline, generation,
+               [this, load_qps, cb = std::move(on_complete)](bool ok) {
+                 if (ok && !switch_events_.empty()) {
+                   switch_events_.back().load_qps = load_qps;
+                 }
+                 cb(ok);
+               });
+}
+
+void HybridExecutionEngine::switch_to_iaas(
+    const std::string& service, double load_qps,
+    std::function<void(bool)> on_complete) {
+  AMOEBA_EXPECTS(on_complete != nullptr);
+  ServiceState& st = state_of(service);
+  AMOEBA_EXPECTS_MSG(!st.switching, "switch already in progress");
+  AMOEBA_EXPECTS_MSG(st.route == DeployMode::kServerless, "already on IaaS");
+  st.switching = true;
+  ++st.switch_generation;
+  const std::string name = service;
+  iaas_.boot(name, [this, name, load_qps,
+                    cb = std::move(on_complete)]() mutable {
+    ServiceState& s = state_of(name);
+    s.switching = false;
+    s.route = DeployMode::kIaas;
+    flush_boot_buffer(name);
+    // Shutdown signal S_sd: reclaim the containers once their in-flight
+    // queries complete.
+    serverless_.retire(name);
+    switch_events_.push_back(
+        {engine_.now(), name, DeployMode::kIaas, load_qps});
+    cb(true);
+  });
+}
+
+}  // namespace amoeba::core

@@ -1,0 +1,144 @@
+// Hybrid execution engine — paper §V.
+//
+// Routes each user query to whichever platform currently serves the
+// microservice, and implements the switch protocol:
+//
+//   to serverless: prewarm n containers (Eq. 7) -> wait for the warm ack
+//                  -> flip the route -> drain & stop the VM;
+//   to IaaS:       boot the VM -> wait for the ready ack -> flip the route
+//                  -> retire the service's containers (busy ones finish
+//                  first: "releases the resources after all its allocated
+//                  queries completed").
+//
+// While a service runs on IaaS, a configurable fraction of its queries is
+// mirrored to the serverless platform; their latencies are the heartbeat
+// samples that calibrate the controller's weights before any switch
+// happens (paper §III step 1).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/deployment_controller.hpp"  // DeployMode
+#include "core/prewarm_policy.hpp"
+#include "iaas/platform.hpp"
+#include "serverless/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace amoeba::core {
+
+struct HybridEngineConfig {
+  PrewarmPolicy prewarm;
+  bool enable_prewarm = true;     ///< false = Amoeba-NoP ablation
+  double mirror_fraction = 0.08;  ///< IaaS-mode sampling share to serverless
+  double prewarm_poll_s = 0.25;   ///< ack polling interval during switches
+  double switch_timeout_s = 30.0; ///< abort a switch that cannot complete
+
+  void validate() const;
+};
+
+struct SwitchEvent {
+  double time = 0.0;
+  std::string service;
+  DeployMode to = DeployMode::kIaas;
+  double load_qps = 0.0;  ///< load at the moment the switch completed
+};
+
+class HybridExecutionEngine {
+ public:
+  /// Observer for mirrored (shadow) query completions; these are
+  /// measurement traffic, never returned to users.
+  using MirrorObserver =
+      std::function<void(const std::string& service,
+                         const workload::QueryRecord&)>;
+
+  HybridExecutionEngine(sim::Engine& engine,
+                        serverless::ServerlessPlatform& serverless,
+                        iaas::IaasPlatform& iaas, HybridEngineConfig cfg,
+                        sim::Rng rng);
+
+  /// Register a service on both platforms. `serverless_max_containers`
+  /// is the per-function n_max (0 = memory-bounded only). The service
+  /// starts in IaaS mode with its VM booting.
+  void add_service(const workload::FunctionProfile& profile,
+                   iaas::VmSpec vm_spec, int serverless_max_containers = 0);
+
+  /// User-facing entry point.
+  void submit(const std::string& service, workload::QueryCompletionFn on_done);
+
+  /// Begin switching. `on_complete(true)` fires once the flip happened;
+  /// `on_complete(false)` if the switch aborted (timeout / no capacity).
+  /// Requires no switch in progress for this service.
+  void switch_to_serverless(const std::string& service, double load_qps,
+                            std::function<void(bool)> on_complete);
+  void switch_to_iaas(const std::string& service, double load_qps,
+                      std::function<void(bool)> on_complete);
+
+  [[nodiscard]] DeployMode route(const std::string& service) const;
+  [[nodiscard]] bool transitioning(const std::string& service) const;
+
+  /// Containers the service could obtain right now: its current ones plus
+  /// pool headroom, clamped to its n_max (the M/M/N "n").
+  [[nodiscard]] int available_containers(const std::string& service) const;
+
+  void set_mirror_observer(MirrorObserver obs) {
+    mirror_observer_ = std::move(obs);
+  }
+
+  /// Keep the warm set sized to the current load while the service runs
+  /// serverless (paper §V-A: the engine "continually monitors the control
+  /// signal ... to keep enough warm containers for later queries").
+  /// No-op when prewarm is disabled (Amoeba-NoP), off-route or switching.
+  void maintain_warm(const std::string& service, double load_qps);
+
+  /// Enable/disable the sampling mirror for one service. The runtime turns
+  /// it off once the controller's weight estimator is calibrated — the
+  /// paper's pre-switch sampling exists to estimate w₀, not to run
+  /// shadow traffic forever (its containers would cost real memory).
+  void set_mirroring(const std::string& service, bool enabled);
+  [[nodiscard]] bool mirroring(const std::string& service) const;
+
+  [[nodiscard]] const std::vector<SwitchEvent>& switch_events() const noexcept {
+    return switch_events_;
+  }
+  [[nodiscard]] const HybridEngineConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] std::uint64_t mirrored_queries() const noexcept {
+    return mirrored_;
+  }
+
+ private:
+  struct ServiceState {
+    workload::FunctionProfile profile;
+    int max_containers = 0;
+    DeployMode route = DeployMode::kIaas;
+    bool mirroring = true;
+    bool switching = false;
+    std::uint64_t switch_generation = 0;  ///< invalidates stale poll events
+    std::deque<workload::QueryCompletionFn> boot_buffer;  ///< pre-VM-ready
+  };
+
+  ServiceState& state_of(const std::string& service);
+  const ServiceState& state_of(const std::string& service) const;
+  void flush_boot_buffer(const std::string& service);
+  void poll_prewarm(const std::string& service, int needed, double deadline,
+                    std::uint64_t generation,
+                    std::function<void(bool)> on_complete);
+
+  sim::Engine& engine_;
+  serverless::ServerlessPlatform& serverless_;
+  iaas::IaasPlatform& iaas_;
+  HybridEngineConfig cfg_;
+  sim::Rng rng_;
+  std::map<std::string, ServiceState> services_;
+  MirrorObserver mirror_observer_;
+  std::vector<SwitchEvent> switch_events_;
+  std::uint64_t mirrored_ = 0;
+};
+
+}  // namespace amoeba::core

@@ -1,0 +1,60 @@
+#include "core/latency_surface.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amoeba::core {
+
+LatencySurface::LatencySurface(std::vector<double> pressures,
+                               std::vector<double> loads,
+                               std::vector<double> latencies)
+    : pressures_(std::move(pressures)),
+      loads_(std::move(loads)),
+      lat_(std::move(latencies)) {
+  AMOEBA_EXPECTS(pressures_.size() >= 2);
+  AMOEBA_EXPECTS(loads_.size() >= 2);
+  AMOEBA_EXPECTS(lat_.size() == pressures_.size() * loads_.size());
+  for (std::size_t i = 1; i < pressures_.size(); ++i) {
+    AMOEBA_EXPECTS(pressures_[i] > pressures_[i - 1]);
+  }
+  for (std::size_t i = 1; i < loads_.size(); ++i) {
+    AMOEBA_EXPECTS(loads_[i] > loads_[i - 1]);
+  }
+  for (double v : lat_) AMOEBA_EXPECTS(v >= 0.0);
+}
+
+double LatencySurface::value(std::size_t pi, std::size_t li) const {
+  AMOEBA_EXPECTS(pi < pressures_.size() && li < loads_.size());
+  return lat_[pi * loads_.size() + li];
+}
+
+std::size_t LatencySurface::bracket(const std::vector<double>& axis, double x,
+                                    double& frac) {
+  if (x <= axis.front()) {
+    frac = 0.0;
+    return 0;
+  }
+  if (x >= axis.back()) {
+    frac = 1.0;
+    return axis.size() - 2;
+  }
+  const auto it = std::lower_bound(axis.begin(), axis.end(), x);
+  const auto hi = static_cast<std::size_t>(it - axis.begin());
+  const std::size_t lo = hi - 1;
+  frac = (x - axis[lo]) / (axis[hi] - axis[lo]);
+  return lo;
+}
+
+double LatencySurface::at(double pressure, double load) const {
+  double fp = 0.0, fl = 0.0;
+  const std::size_t pi = bracket(pressures_, pressure, fp);
+  const std::size_t li = bracket(loads_, load, fl);
+  const double v00 = value(pi, li);
+  const double v01 = value(pi, li + 1);
+  const double v10 = value(pi + 1, li);
+  const double v11 = value(pi + 1, li + 1);
+  return (1.0 - fp) * ((1.0 - fl) * v00 + fl * v01) +
+         fp * ((1.0 - fl) * v10 + fl * v11);
+}
+
+}  // namespace amoeba::core

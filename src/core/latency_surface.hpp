@@ -1,0 +1,46 @@
+// Latency surfaces L(P, V_u) — paper §IV-B step 1 and Fig. 9.
+//
+// For each microservice and each contended resource, profiling co-locates
+// the microservice (at load V_u) with a stressor (at pressure P) and
+// records the tail latency over a 2-D grid. The surface answers "what
+// latency would this microservice see at load V_u if the platform's
+// pressure on this resource were P" via bilinear interpolation.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::core {
+
+class LatencySurface {
+ public:
+  /// `pressures` (size m) and `loads` (size k) are strictly increasing
+  /// grid axes; `latencies` is row-major m×k (row = pressure index).
+  LatencySurface(std::vector<double> pressures, std::vector<double> loads,
+                 std::vector<double> latencies);
+
+  /// Bilinear interpolation, clamped to the profiled ranges.
+  [[nodiscard]] double at(double pressure, double load) const;
+
+  [[nodiscard]] const std::vector<double>& pressures() const noexcept {
+    return pressures_;
+  }
+  [[nodiscard]] const std::vector<double>& loads() const noexcept {
+    return loads_;
+  }
+  [[nodiscard]] double value(std::size_t pi, std::size_t li) const;
+
+  /// Solo latency: lowest pressure, lowest load corner (the L0 anchor).
+  [[nodiscard]] double base_latency() const { return value(0, 0); }
+
+ private:
+  static std::size_t bracket(const std::vector<double>& axis, double x,
+                             double& frac);
+
+  std::vector<double> pressures_;
+  std::vector<double> loads_;
+  std::vector<double> lat_;  // row-major [pressure][load]
+};
+
+}  // namespace amoeba::core

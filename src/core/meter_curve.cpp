@@ -1,0 +1,50 @@
+#include "core/meter_curve.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amoeba::core {
+
+MeterCurve::MeterCurve(std::vector<CurvePoint> points)
+    : points_(std::move(points)) {
+  AMOEBA_EXPECTS_MSG(points_.size() >= 2, "curve needs at least two points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    AMOEBA_EXPECTS_MSG(points_[i].pressure > points_[i - 1].pressure,
+                       "pressures must be strictly increasing");
+  }
+  // Isotonic repair: contention cannot reduce latency; clamp simulation
+  // noise so the inverse lookup stays well-defined.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    points_[i].latency = std::max(points_[i].latency, points_[i - 1].latency);
+  }
+}
+
+double MeterCurve::latency_at(double pressure) const {
+  if (pressure <= points_.front().pressure) return points_.front().latency;
+  if (pressure >= points_.back().pressure) return points_.back().latency;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), pressure,
+      [](const CurvePoint& p, double x) { return p.pressure < x; });
+  const CurvePoint& hi = *it;
+  const CurvePoint& lo = *std::prev(it);
+  const double f = (pressure - lo.pressure) / (hi.pressure - lo.pressure);
+  return lo.latency + f * (hi.latency - lo.latency);
+}
+
+double MeterCurve::pressure_for(double latency) const {
+  if (latency <= points_.front().latency) return points_.front().pressure;
+  if (latency >= points_.back().latency) return points_.back().pressure;
+  // First segment whose upper latency reaches `latency`.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const CurvePoint& lo = points_[i - 1];
+    const CurvePoint& hi = points_[i];
+    if (latency <= hi.latency) {
+      if (hi.latency <= lo.latency) return lo.pressure;  // flat segment
+      const double f = (latency - lo.latency) / (hi.latency - lo.latency);
+      return lo.pressure + f * (hi.pressure - lo.pressure);
+    }
+  }
+  return points_.back().pressure;
+}
+
+}  // namespace amoeba::core

@@ -1,0 +1,20 @@
+#include "core/prewarm_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amoeba::core {
+
+int PrewarmPolicy::containers_for(double load_qps, double qos_target_s) const {
+  AMOEBA_EXPECTS(load_qps >= 0.0);
+  AMOEBA_EXPECTS(qos_target_s > 0.0);
+  AMOEBA_EXPECTS(headroom >= 1.0);
+  AMOEBA_EXPECTS(min_containers >= 0);
+  AMOEBA_EXPECTS(max_containers >= min_containers);
+  // Eq. 7: (n-1)/QoS_t < V_u <= n/QoS_t  =>  n = ceil(V_u * QoS_t).
+  const double raw = std::ceil(load_qps * qos_target_s * headroom);
+  const int n = raw <= 0.0 ? 0 : static_cast<int>(raw);
+  return std::clamp(n, min_containers, max_containers);
+}
+
+}  // namespace amoeba::core

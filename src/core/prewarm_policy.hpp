@@ -1,0 +1,24 @@
+// Container prewarm sizing — paper §V-A, Eq. 7.
+//
+// Before switching a microservice to the serverless platform, the engine
+// warms n containers where (n−1)/QoS_t < V_u <= n/QoS_t: since a container
+// runs one query at a time and each query may take up to the QoS target,
+// n containers sustain at most n/QoS_t queries per second within target.
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace amoeba::core {
+
+struct PrewarmPolicy {
+  /// Multiplicative headroom on top of Eq. 7 for burst absorption
+  /// ("leaves space for creating more containers for burst invocations").
+  double headroom = 1.0;
+  int min_containers = 1;
+  int max_containers = 1 << 20;
+
+  /// Eq. 7: smallest n with V_u <= n/QoS_t, scaled by headroom and clamped.
+  [[nodiscard]] int containers_for(double load_qps, double qos_target_s) const;
+};
+
+}  // namespace amoeba::core

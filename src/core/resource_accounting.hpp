@@ -1,0 +1,50 @@
+// Cross-platform resource accounting (paper Figs. 11, 13, 14).
+//
+// IaaS usage is what the maintainer *rents*: the VM's full core/memory
+// allocation for every second it is up, busy or not. Serverless usage is
+// what the queries *consume*: actual compute core-seconds plus the
+// container-memory reservation integral (busy, idle-warm, and prewarmed
+// containers all hold memory — the honest cost of the prewarm strategy).
+#pragma once
+
+#include <string>
+
+#include "iaas/platform.hpp"
+#include "serverless/platform.hpp"
+
+namespace amoeba::core {
+
+struct ServiceUsage {
+  double cpu_core_seconds = 0.0;
+  double memory_mb_seconds = 0.0;
+
+  ServiceUsage& operator+=(const ServiceUsage& o) {
+    cpu_core_seconds += o.cpu_core_seconds;
+    memory_mb_seconds += o.memory_mb_seconds;
+    return *this;
+  }
+};
+
+class ResourceAccountant {
+ public:
+  ResourceAccountant(serverless::ServerlessPlatform& serverless,
+                     iaas::IaasPlatform& iaas)
+      : serverless_(serverless), iaas_(iaas) {}
+
+  /// Combined usage of a service across both platforms through `now`.
+  [[nodiscard]] ServiceUsage usage(const std::string& service, double now);
+
+  /// The IaaS-rented share only (what pure Nameko would cost).
+  [[nodiscard]] ServiceUsage iaas_usage(const std::string& service,
+                                        double now);
+
+  /// The serverless share only.
+  [[nodiscard]] ServiceUsage serverless_usage(const std::string& service,
+                                              double now);
+
+ private:
+  serverless::ServerlessPlatform& serverless_;
+  iaas::IaasPlatform& iaas_;
+};
+
+}  // namespace amoeba::core

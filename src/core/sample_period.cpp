@@ -1,0 +1,19 @@
+#include "core/sample_period.hpp"
+
+#include <algorithm>
+
+namespace amoeba::core {
+
+double min_sample_period(const SamplePeriodParams& p, double floor_s) {
+  AMOEBA_EXPECTS(p.cold_start_s >= 0.0);
+  AMOEBA_EXPECTS(p.qos_target_s > 0.0);
+  AMOEBA_EXPECTS(p.exec_time_s >= 0.0);
+  AMOEBA_EXPECTS(p.allowed_error > 0.0 && p.allowed_error < 1.0);
+  AMOEBA_EXPECTS(floor_s > 0.0);
+  const double numerator = p.cold_start_s - p.qos_target_s + p.exec_time_s;
+  const double bound =
+      numerator / ((1.0 - p.allowed_error) * p.qos_target_s);
+  return std::max(bound, floor_s);
+}
+
+}  // namespace amoeba::core

@@ -1,0 +1,30 @@
+// Monitor sample-period selection — paper §VI-B, Eq. 8.
+//
+// A stray ("accidental") cold start inside a sample period inflates the
+// tail latency the monitor sees and could make the controller misjudge a
+// healthy serverless deployment. Eq. 8 lower-bounds the period T so one
+// cold start cannot push the period's error beyond the allowed scope e:
+//
+//     T > (cold_start − QoS_t + t_exec) / ((1 − e) · QoS_t)
+//
+// Note the paper's direction: a SMALLER allowed error e shrinks the bound
+// — "Amoeba has to sample the contention more frequently" (§VI-B).
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace amoeba::core {
+
+struct SamplePeriodParams {
+  double cold_start_s = 1.0;  ///< typical container cold start
+  double qos_target_s = 1.0;  ///< the service's QoS target
+  double exec_time_s = 0.5;   ///< typical query execution time
+  double allowed_error = 0.1; ///< e in (0, 1)
+};
+
+/// Eq. 8 lower bound on the sample period. Never below `floor_s` (a
+/// practical minimum so the monitor has enough queries to aggregate).
+[[nodiscard]] double min_sample_period(const SamplePeriodParams& p,
+                                       double floor_s = 1.0);
+
+}  // namespace amoeba::core

@@ -1,0 +1,96 @@
+#include "core/weight_estimator.hpp"
+
+#include <algorithm>
+
+namespace amoeba::core {
+
+WeightEstimator::WeightEstimator(WeightEstimatorConfig cfg, double solo_latency,
+                                 double alpha)
+    : cfg_(cfg), l0_(solo_latency), alpha_(alpha) {
+  AMOEBA_EXPECTS(solo_latency > 0.0);
+  AMOEBA_EXPECTS(alpha >= 0.0);
+  AMOEBA_EXPECTS(cfg.min_samples >= kNumResources + 1);
+  AMOEBA_EXPECTS(cfg.max_samples >= cfg.min_samples);
+  AMOEBA_EXPECTS(cfg.min_explained > 0.0 && cfg.min_explained <= 1.0);
+  AMOEBA_EXPECTS(cfg.refit_interval >= 1);
+}
+
+Features WeightEstimator::clamped(const Features& f) const {
+  if (cfg_.feature_cap_s <= 0.0) return f;
+  Features out = f;
+  for (double& v : out) v = std::min(v, cfg_.feature_cap_s);
+  return out;
+}
+
+void WeightEstimator::observe(const Features& predicted,
+                              double observed_latency) {
+  AMOEBA_EXPECTS(observed_latency > 0.0);
+  for (double v : predicted) AMOEBA_EXPECTS(v >= 0.0);
+  window_.push_back(Sample{clamped(predicted), observed_latency});
+  while (window_.size() > cfg_.max_samples) window_.pop_front();
+  ++since_refit_;
+  maybe_refit();
+}
+
+void WeightEstimator::maybe_refit() {
+  if (!cfg_.enable_pca) return;
+  if (window_.size() < cfg_.min_samples) return;
+  if (model_.has_value() && since_refit_ < cfg_.refit_interval) return;
+  since_refit_ = 0;
+
+  linalg::Matrix x(window_.size(), kNumResources);
+  std::vector<double> y(window_.size());
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    for (std::size_t j = 0; j < kNumResources; ++j) {
+      x(i, j) = window_[i].x[j];
+    }
+    y[i] = window_[i].y;
+  }
+  model_ = linalg::fit_pcr(x, y, cfg_.min_explained, cfg_.ridge);
+  ++refits_;
+}
+
+double WeightEstimator::accumulate_prediction(const Features& f) const {
+  // Amoeba-NoM: assume each resource's degradation adds on top of L0
+  // (paper §VII-C: "pessimistically assume that the QoS degradations ...
+  // are accumulated").
+  double service = l0_;
+  for (double li : f) service += std::max(0.0, li - l0_);
+  return service + alpha_;
+}
+
+double WeightEstimator::predict_service_time(const Features& raw) const {
+  const Features f = clamped(raw);
+  if (!model_.has_value()) return accumulate_prediction(f);
+  double p = model_->predict(std::vector<double>(f.begin(), f.end()));
+  // If any surface hit the cap, the operating point is outside the
+  // calibrated regime: take the pessimistic max of the regression and the
+  // accumulation prediction so saturation is never explained away.
+  if (cfg_.feature_cap_s > 0.0) {
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+      if (raw[i] >= cfg_.feature_cap_s) {
+        p = std::max(p, accumulate_prediction(f));
+        break;
+      }
+    }
+  }
+  // A regression extrapolating into thin data can under-shoot physics:
+  // never predict below the uncontended floor.
+  return std::max(p, l0_ + alpha_);
+}
+
+double WeightEstimator::mu(const Features& f) const {
+  return 1.0 / predict_service_time(f);
+}
+
+std::optional<std::array<double, kNumResources>> WeightEstimator::weights()
+    const {
+  if (!model_.has_value()) return std::nullopt;
+  const auto beta = model_->raw_coefficients();
+  AMOEBA_ASSERT(beta.size() == kNumResources);
+  std::array<double, kNumResources> w{};
+  std::copy(beta.begin(), beta.end(), w.begin());
+  return w;
+}
+
+}  // namespace amoeba::core

@@ -1,0 +1,95 @@
+// Per-service container-capacity estimation — paper Eq. 6 and §VI-A.
+//
+// Eq. 6 turns the three per-resource latency predictions {L_1, L_2, L_3}
+// (from the latency surfaces at the current pressures and load) into a
+// per-container processing capacity:
+//
+//     μ_n = 1 / ( Σ_i w_i · L_i + α )
+//
+// The weights w start pessimistic and are calibrated online by principal-
+// component regression over heartbeat samples (features = surface
+// predictions, target = observed service latency of queries mirrored to
+// the serverless platform). Disabling the calibration gives the paper's
+// Amoeba-NoM ablation: degradations on every resource are assumed to
+// accumulate, which over-predicts latency and postpones profitable
+// switches (paper Fig. 14/15).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "linalg/pca.hpp"
+
+namespace amoeba::core {
+
+inline constexpr std::size_t kNumResources = 3;  // cpu/mem, disk IO, network
+
+using Features = std::array<double, kNumResources>;
+
+struct WeightEstimatorConfig {
+  bool enable_pca = true;         ///< false = Amoeba-NoM accumulation mode
+  std::size_t min_samples = 24;   ///< PCR needs this many heartbeats
+  std::size_t max_samples = 512;  ///< sliding window of heartbeats
+  double min_explained = 0.95;    ///< PCA variance retention (paper: "most")
+  double ridge = 1e-8;
+  /// Clamp surface-predicted latencies to this value (seconds) before they
+  /// enter the regression. Saturated profiling cells carry sentinel values
+  /// orders of magnitude above the operating regime; unclamped they swamp
+  /// the linear fit, and any latency beyond the cap rejects the deployment
+  /// regardless. 0 = no clamp. The controller defaults this to 4x the
+  /// service's QoS target.
+  double feature_cap_s = 0.0;
+  /// Refit at most every `refit_interval` new samples (amortizes the PCR).
+  std::size_t refit_interval = 8;
+};
+
+class WeightEstimator {
+ public:
+  /// `solo_latency` is L0, the uncontended service latency; `alpha` the
+  /// fixed execution overhead in Eq. 6.
+  WeightEstimator(WeightEstimatorConfig cfg, double solo_latency,
+                  double alpha);
+
+  /// Record one heartbeat observation: the surface-predicted latencies and
+  /// the actually observed service latency (both seconds).
+  void observe(const Features& predicted, double observed_latency);
+
+  /// Predicted service time Σ w_i L_i + α (or the NoM accumulation when
+  /// PCA is disabled or not yet primed).
+  [[nodiscard]] double predict_service_time(const Features& predicted) const;
+
+  /// μ_n = 1 / predict_service_time (Eq. 6).
+  [[nodiscard]] double mu(const Features& predicted) const;
+
+  /// Current weights; empty optional until a PCR fit has happened.
+  [[nodiscard]] std::optional<std::array<double, kNumResources>> weights()
+      const;
+
+  [[nodiscard]] bool calibrated() const noexcept { return model_.has_value(); }
+  [[nodiscard]] std::size_t samples() const noexcept { return window_.size(); }
+  [[nodiscard]] std::size_t refits() const noexcept { return refits_; }
+  [[nodiscard]] double solo_latency() const noexcept { return l0_; }
+
+ private:
+  void maybe_refit();
+  [[nodiscard]] double accumulate_prediction(const Features& f) const;
+  [[nodiscard]] Features clamped(const Features& f) const;
+
+  WeightEstimatorConfig cfg_;
+  double l0_;
+  double alpha_;
+  struct Sample {
+    Features x;
+    double y;
+  };
+  std::deque<Sample> window_;
+  std::optional<linalg::PcrModel> model_;
+  std::size_t since_refit_ = 0;
+  std::size_t refits_ = 0;
+};
+
+}  // namespace amoeba::core

@@ -1,0 +1,142 @@
+#include "exp/artifact_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace amoeba::exp {
+
+namespace {
+constexpr const char* kMagic = "amoeba-profile-cache-v1";
+
+void write_header(std::ostream& os, const std::string& tag) {
+  os << kMagic << '\n' << tag << '\n' << std::setprecision(17);
+}
+
+bool read_header(std::istream& is, const std::string& tag) {
+  std::string magic, file_tag;
+  if (!std::getline(is, magic) || magic != kMagic) return false;
+  if (!std::getline(is, file_tag) || file_tag != tag) return false;
+  return true;
+}
+
+void ensure_parent(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+}
+}  // namespace
+
+std::string default_cache_dir() { return "amoeba_profile_cache"; }
+
+void save_calibration(const std::string& path, const std::string& tag,
+                      const core::MeterCalibration& calibration) {
+  AMOEBA_EXPECTS(calibration.complete());
+  ensure_parent(path);
+  std::ofstream os(path, std::ios::trunc);
+  AMOEBA_EXPECTS_MSG(static_cast<bool>(os), "cannot write " + path);
+  write_header(os, tag);
+  os << "meters " << core::kNumResources << '\n';
+  for (std::size_t d = 0; d < core::kNumResources; ++d) {
+    const auto& pts = calibration.curves[d]->points();
+    os << "curve " << d << ' ' << pts.size() << '\n';
+    for (const auto& p : pts) os << p.pressure << ' ' << p.latency << '\n';
+  }
+}
+
+std::optional<core::MeterCalibration> load_calibration(
+    const std::string& path, const std::string& tag) {
+  std::ifstream is(path);
+  if (!is || !read_header(is, tag)) return std::nullopt;
+  std::string word;
+  std::size_t n = 0;
+  if (!(is >> word >> n) || word != "meters" || n != core::kNumResources) {
+    return std::nullopt;
+  }
+  core::MeterCalibration cal;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t dim = 0, count = 0;
+    if (!(is >> word >> dim >> count) || word != "curve" ||
+        dim >= core::kNumResources || count < 2) {
+      return std::nullopt;
+    }
+    std::vector<core::CurvePoint> pts(count);
+    for (auto& p : pts) {
+      if (!(is >> p.pressure >> p.latency)) return std::nullopt;
+    }
+    cal.curves[dim] = core::MeterCurve(std::move(pts));
+  }
+  return cal.complete() ? std::optional(cal) : std::nullopt;
+}
+
+void save_artifacts(const std::string& path, const std::string& tag,
+                    const core::ServiceArtifacts& artifacts) {
+  AMOEBA_EXPECTS(artifacts.complete());
+  ensure_parent(path);
+  std::ofstream os(path, std::ios::trunc);
+  AMOEBA_EXPECTS_MSG(static_cast<bool>(os), "cannot write " + path);
+  write_header(os, tag);
+  os << "solo " << artifacts.solo_latency_s << '\n';
+  os << "alpha " << artifacts.alpha_s << '\n';
+  os << "footprint";
+  for (double f : artifacts.pressure_per_qps) os << ' ' << f;
+  os << '\n';
+  for (std::size_t d = 0; d < core::kNumResources; ++d) {
+    const auto& s = *artifacts.surfaces[d];
+    os << "surface " << d << ' ' << s.pressures().size() << ' '
+       << s.loads().size() << '\n';
+    for (double p : s.pressures()) os << p << ' ';
+    os << '\n';
+    for (double l : s.loads()) os << l << ' ';
+    os << '\n';
+    for (std::size_t pi = 0; pi < s.pressures().size(); ++pi) {
+      for (std::size_t li = 0; li < s.loads().size(); ++li) {
+        os << s.value(pi, li) << ' ';
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::optional<core::ServiceArtifacts> load_artifacts(const std::string& path,
+                                                     const std::string& tag) {
+  std::ifstream is(path);
+  if (!is || !read_header(is, tag)) return std::nullopt;
+  core::ServiceArtifacts art;
+  std::string word;
+  if (!(is >> word >> art.solo_latency_s) || word != "solo") {
+    return std::nullopt;
+  }
+  if (!(is >> word >> art.alpha_s) || word != "alpha") return std::nullopt;
+  if (!(is >> word) || word != "footprint") return std::nullopt;
+  for (auto& f : art.pressure_per_qps) {
+    if (!(is >> f)) return std::nullopt;
+  }
+  for (std::size_t i = 0; i < core::kNumResources; ++i) {
+    std::size_t dim = 0, np = 0, nl = 0;
+    if (!(is >> word >> dim >> np >> nl) || word != "surface" ||
+        dim >= core::kNumResources || np < 2 || nl < 2) {
+      return std::nullopt;
+    }
+    std::vector<double> ps(np), ls(nl), lat(np * nl);
+    for (auto& v : ps) {
+      if (!(is >> v)) return std::nullopt;
+    }
+    for (auto& v : ls) {
+      if (!(is >> v)) return std::nullopt;
+    }
+    for (auto& v : lat) {
+      if (!(is >> v)) return std::nullopt;
+    }
+    art.surfaces[dim] = core::LatencySurface(std::move(ps), std::move(ls),
+                                             std::move(lat));
+  }
+  return art.complete() ? std::optional(art) : std::nullopt;
+}
+
+}  // namespace amoeba::exp

@@ -1,0 +1,33 @@
+// Text-file cache for profiling artifacts.
+//
+// Profiling (meter curves, latency surfaces) is deterministic but takes
+// simulated-minutes of CPU; every figure bench needs the same artifacts.
+// The cache persists them as a human-readable text file keyed by a caller
+// tag, so `for b in build/bench/*; do $b; done` profiles once, not eight
+// times. Loading validates the format version and tag; any mismatch just
+// reports a miss and the caller re-profiles.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/profile_data.hpp"
+
+namespace amoeba::exp {
+
+/// Persist / restore the platform meter calibration.
+void save_calibration(const std::string& path, const std::string& tag,
+                      const core::MeterCalibration& calibration);
+[[nodiscard]] std::optional<core::MeterCalibration> load_calibration(
+    const std::string& path, const std::string& tag);
+
+/// Persist / restore one service's artifacts.
+void save_artifacts(const std::string& path, const std::string& tag,
+                    const core::ServiceArtifacts& artifacts);
+[[nodiscard]] std::optional<core::ServiceArtifacts> load_artifacts(
+    const std::string& path, const std::string& tag);
+
+/// Default cache directory (created on demand): ./amoeba_profile_cache
+[[nodiscard]] std::string default_cache_dir();
+
+}  // namespace amoeba::exp

@@ -1,0 +1,133 @@
+// Experiment scenario builders — encodes the paper's §VII-A setup.
+//
+// The simulated cluster mirrors Table II: one 40-core / 25 GbE / NVMe node
+// hosts the shared serverless platform, a second node hosts the IaaS VMs,
+// and the load generator + controller + monitor run "off to the side"
+// (they cost nothing in the simulation, matching the paper's third node).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/amoeba.hpp"
+#include "core/profile_data.hpp"
+#include "iaas/platform.hpp"
+#include "serverless/platform.hpp"
+#include "stats/percentile.hpp"
+#include "workload/diurnal_trace.hpp"
+#include "workload/functionbench.hpp"
+#include "workload/load_generator.hpp"
+
+namespace amoeba::exp {
+
+/// Hardware/software configuration of the simulated cluster (Table II).
+struct ClusterConfig {
+  serverless::PlatformConfig serverless;
+  iaas::IaasConfig iaas;
+  std::uint64_t seed = 42;
+};
+
+/// Table II defaults: 40 cores, 32 GB container pool (256 MB containers →
+/// n_max 128 node-wide), NVMe at 2 GB/s, 25 GbE, 1 s cold starts.
+[[nodiscard]] ClusterConfig default_cluster();
+
+/// "Just-enough" IaaS sizing (paper §II-B): the smallest VM (integer cores)
+/// whose M/M/c model keeps the r-ile latency within the QoS target at the
+/// service's peak load, with a small multiplicative headroom. Memory is a
+/// 1 GB base plus one worker's footprint per core.
+[[nodiscard]] iaas::VmSpec just_enough_vm(
+    const workload::FunctionProfile& profile, const ClusterConfig& cluster,
+    double r = 0.95, double headroom = 1.15);
+
+/// The diurnal trace used to drive a service: peak at its provisioned
+/// peak_load_qps, trough at 25% (paper §I: low load < 30% of peak).
+[[nodiscard]] workload::DiurnalTraceConfig diurnal_for(
+    const workload::FunctionProfile& profile, double period_s,
+    double phase = 0.0);
+
+/// Collects per-service user-query records with a warmup filter.
+class RunRecorder {
+ public:
+  explicit RunRecorder(double warmup_s) : warmup_s_(warmup_s) {}
+
+  [[nodiscard]] workload::QueryCompletionFn observer(
+      const std::string& service);
+
+  [[nodiscard]] const stats::SampleSet& latencies(
+      const std::string& service) const;
+  [[nodiscard]] const std::vector<workload::QueryRecord>& records(
+      const std::string& service) const;
+  [[nodiscard]] std::uint64_t count(const std::string& service) const;
+
+ private:
+  struct PerService {
+    stats::SampleSet latencies;
+    std::vector<workload::QueryRecord> records;
+  };
+  double warmup_s_;
+  std::map<std::string, PerService> per_service_;
+};
+
+/// Which deployment system manages the foreground benchmark.
+enum class DeploySystem {
+  kAmoeba,      ///< full system
+  kAmoebaNoM,   ///< PCA calibration disabled (§VII-C)
+  kAmoebaNoP,   ///< container prewarm disabled (§VII-D)
+  kNameko,      ///< pure IaaS baseline
+  kOpenWhisk,   ///< pure serverless baseline
+};
+
+[[nodiscard]] const char* to_string(DeploySystem s) noexcept;
+
+struct ManagedRunOptions {
+  double period_s = 1200.0;      ///< compressed "day"
+  double duration_days = 1.0;
+  double warmup_s = 60.0;
+  bool with_background = true;   ///< float/dd/cloud_stor at low peak (§VII-A)
+  double background_peak_fraction = 0.30;
+  double timeline_period_s = 0.0;
+  std::uint64_t seed = 42;
+  /// Per-service container limit (paper §IV-A's n_max), as a multiple of
+  /// the just-enough VM's cores: the service may not consume more of the
+  /// shared pool than it would rent on IaaS. Keeps the discriminant honest
+  /// about the serverless peak capacity (and bounds worst-case memory).
+  double n_max_core_factor = 1.0;
+  /// Keep every foreground QueryRecord in the result (windowed analyses).
+  bool keep_records = false;
+  /// Overrides for ablation studies; defaults follow AmoebaConfig.
+  std::optional<core::AmoebaConfig> amoeba;
+};
+
+struct ManagedRunResult {
+  stats::SampleSet latencies;              ///< foreground user queries
+  std::vector<workload::QueryRecord> records;  ///< if keep_records
+  std::uint64_t queries = 0;
+  core::ServiceUsage usage;                ///< foreground, across platforms
+  std::vector<core::SwitchEvent> switches; ///< empty for pure baselines
+  core::ServiceTimeline timeline;          ///< populated if sampling enabled
+  double qos_target_s = 0.0;
+  double duration_s = 0.0;
+
+  [[nodiscard]] double p95() const { return latencies.quantile(0.95); }
+  [[nodiscard]] double violation_fraction() const {
+    return latencies.fraction_above(qos_target_s);
+  }
+};
+
+/// Run one foreground benchmark under the given system, with the paper's
+/// background tenants on the shared serverless platform. This is the
+/// workhorse behind Figs. 10–14 and 16.
+[[nodiscard]] ManagedRunResult run_managed(
+    const workload::FunctionProfile& foreground, DeploySystem system,
+    const ClusterConfig& cluster, const core::MeterCalibration& calibration,
+    const core::ServiceArtifacts& artifacts, const ManagedRunOptions& opt);
+
+/// Background tenants of §VII-A: float, dd and cloud_stor scaled to a low
+/// peak, offset in phase so their rushes don't align.
+[[nodiscard]] std::vector<workload::FunctionProfile> background_suite(
+    double peak_fraction);
+
+}  // namespace amoeba::exp

@@ -1,0 +1,44 @@
+// Share-nothing parallel sweep runner.
+//
+// Profiling and the figure benches run many independent single-threaded
+// simulations (grid cells, load sweeps, seeds). `parallel_map` fans them
+// out over a small worker pool; each item gets its own simulation engine
+// and RNG stream, so results are independent of the thread count and
+// identical to a serial run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::exp {
+
+/// Effective worker count: `requested`, or hardware concurrency when 0
+/// (at least 1).
+[[nodiscard]] inline unsigned effective_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Apply `fn(index)` for every index in [0, n) using up to `threads`
+/// workers. `fn` must be thread-safe across distinct indices. Exceptions
+/// propagate: the first one thrown is rethrown on the caller thread.
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Map `fn` over [0, n), collecting results in index order.
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_map(
+    std::size_t n, unsigned threads,
+    const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, threads, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace amoeba::exp

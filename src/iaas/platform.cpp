@@ -1,0 +1,75 @@
+#include "iaas/platform.hpp"
+
+#include <utility>
+
+namespace amoeba::iaas {
+
+void IaasConfig::validate() const {
+  AMOEBA_EXPECTS(disk_bps > 0.0);
+  AMOEBA_EXPECTS(net_bps > 0.0);
+  AMOEBA_EXPECTS(vm_boot_s >= 0.0);
+}
+
+IaasPlatform::IaasPlatform(sim::Engine& engine, IaasConfig cfg, sim::Rng rng)
+    : engine_(engine), cfg_(cfg), rng_(rng) {
+  cfg_.validate();
+}
+
+void IaasPlatform::register_service(const workload::FunctionProfile& profile,
+                                    VmSpec spec) {
+  AMOEBA_EXPECTS_MSG(!vms_.contains(profile.name),
+                     "service already registered");
+  if (spec.boot_s < 0.0) spec.boot_s = cfg_.vm_boot_s;
+  vms_.emplace(profile.name, std::make_unique<VirtualMachine>(
+                                 engine_, profile, spec,
+                                 rng_.fork(vms_.size() + 101), cfg_.disk_bps,
+                                 cfg_.net_bps));
+}
+
+bool IaasPlatform::has_service(const std::string& name) const {
+  return vms_.contains(name);
+}
+
+VirtualMachine& IaasPlatform::vm(const std::string& service) {
+  auto it = vms_.find(service);
+  AMOEBA_EXPECTS_MSG(it != vms_.end(), "unknown service: " + service);
+  return *it->second;
+}
+
+const VmSpec& IaasPlatform::spec(const std::string& service) const {
+  auto it = vms_.find(service);
+  AMOEBA_EXPECTS_MSG(it != vms_.end(), "unknown service: " + service);
+  return it->second->spec();
+}
+
+void IaasPlatform::boot(const std::string& service,
+                        std::function<void()> on_ready) {
+  vm(service).boot(std::move(on_ready));
+}
+
+void IaasPlatform::drain_and_stop(const std::string& service) {
+  vm(service).drain_and_stop();
+}
+
+VmState IaasPlatform::state(const std::string& service) const {
+  auto it = vms_.find(service);
+  AMOEBA_EXPECTS_MSG(it != vms_.end(), "unknown service: " + service);
+  return it->second->state();
+}
+
+void IaasPlatform::submit(const std::string& service,
+                          workload::QueryCompletionFn on_done) {
+  vm(service).submit(std::move(on_done));
+}
+
+double IaasPlatform::rented_core_seconds(const std::string& service,
+                                         sim::Time now) {
+  return vm(service).rented_core_seconds(now);
+}
+
+double IaasPlatform::rented_memory_mb_seconds(const std::string& service,
+                                              sim::Time now) {
+  return vm(service).rented_memory_mb_seconds(now);
+}
+
+}  // namespace amoeba::iaas

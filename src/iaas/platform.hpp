@@ -1,0 +1,56 @@
+// IaaS platform: a fleet of per-service VMs plus rented-resource accounting.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "iaas/vm.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace amoeba::iaas {
+
+struct IaasConfig {
+  double disk_bps = 2.0e9;
+  double net_bps = 3.125e9;
+  double vm_boot_s = 30.0;  ///< default boot time when a spec omits it
+
+  void validate() const;
+};
+
+class IaasPlatform {
+ public:
+  IaasPlatform(sim::Engine& engine, IaasConfig cfg, sim::Rng rng);
+
+  /// Create (stopped) the VM for a service. If `spec.boot_s` is negative it
+  /// inherits the platform default.
+  void register_service(const workload::FunctionProfile& profile, VmSpec spec);
+
+  [[nodiscard]] bool has_service(const std::string& name) const;
+
+  void boot(const std::string& service, std::function<void()> on_ready);
+  void drain_and_stop(const std::string& service);
+
+  [[nodiscard]] VmState state(const std::string& service) const;
+  [[nodiscard]] bool is_running(const std::string& service) const {
+    return state(service) == VmState::kRunning;
+  }
+
+  void submit(const std::string& service, workload::QueryCompletionFn on_done);
+
+  [[nodiscard]] VirtualMachine& vm(const std::string& service);
+  [[nodiscard]] const VmSpec& spec(const std::string& service) const;
+
+  /// Accounting through `now` (monotonic across boot cycles).
+  double rented_core_seconds(const std::string& service, sim::Time now);
+  double rented_memory_mb_seconds(const std::string& service, sim::Time now);
+
+ private:
+  sim::Engine& engine_;
+  IaasConfig cfg_;
+  sim::Rng rng_;
+  std::map<std::string, std::unique_ptr<VirtualMachine>> vms_;
+};
+
+}  // namespace amoeba::iaas

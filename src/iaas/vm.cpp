@@ -1,0 +1,192 @@
+#include "iaas/vm.hpp"
+
+#include <utility>
+
+namespace amoeba::iaas {
+
+void VmSpec::validate() const {
+  AMOEBA_EXPECTS(cores > 0.0);
+  AMOEBA_EXPECTS(memory_mb > 0.0);
+  AMOEBA_EXPECTS(boot_s >= 0.0);
+}
+
+const char* to_string(VmState s) noexcept {
+  switch (s) {
+    case VmState::kStopped: return "stopped";
+    case VmState::kBooting: return "booting";
+    case VmState::kRunning: return "running";
+    case VmState::kDraining: return "draining";
+  }
+  return "?";
+}
+
+VirtualMachine::VirtualMachine(sim::Engine& engine,
+                               workload::FunctionProfile profile, VmSpec spec,
+                               sim::Rng rng, double disk_bps, double net_bps)
+    : engine_(engine),
+      profile_(std::move(profile)),
+      spec_(spec),
+      rng_(rng),
+      cpu_(engine, profile_.name + "_vm_cpu", spec.cores),
+      disk_(engine, profile_.name + "_vm_disk", disk_bps),
+      net_(engine, profile_.name + "_vm_net", net_bps) {
+  profile_.validate();
+  spec_.validate();
+  mark_ = engine_.now();
+}
+
+void VirtualMachine::advance_accounting(sim::Time now) {
+  const double dt = now - mark_;
+  AMOEBA_ASSERT(dt >= 0.0);
+  if (state_ != VmState::kStopped) {
+    rented_core_s_ += spec_.cores * dt;
+    rented_mb_s_ += spec_.memory_mb * dt;
+    uptime_s_ += dt;
+  }
+  mark_ = now;
+}
+
+void VirtualMachine::boot(std::function<void()> on_ready) {
+  AMOEBA_EXPECTS(on_ready != nullptr);
+  advance_accounting(engine_.now());
+  switch (state_) {
+    case VmState::kRunning:
+    case VmState::kBooting:
+      AMOEBA_EXPECTS_MSG(false, "boot() while already up");
+      return;
+    case VmState::kDraining:
+      // Cancel the drain: the VM never went down.
+      state_ = VmState::kRunning;
+      engine_.schedule_in(0.0, std::move(on_ready));
+      return;
+    case VmState::kStopped:
+      break;
+  }
+  state_ = VmState::kBooting;
+  const std::uint64_t generation = ++boot_generation_;
+  engine_.schedule_in(spec_.boot_s,
+                      [this, generation, cb = std::move(on_ready)] {
+                        if (boot_generation_ != generation) return;
+                        if (state_ != VmState::kBooting) return;
+                        advance_accounting(engine_.now());
+                        state_ = VmState::kRunning;
+                        cb();
+                      });
+}
+
+void VirtualMachine::drain_and_stop() {
+  advance_accounting(engine_.now());
+  switch (state_) {
+    case VmState::kStopped:
+    case VmState::kDraining:
+      return;
+    case VmState::kBooting:
+      // Abort the boot outright; nothing is in flight.
+      ++boot_generation_;
+      state_ = VmState::kStopped;
+      return;
+    case VmState::kRunning:
+      state_ = VmState::kDraining;
+      maybe_finish_drain();
+      return;
+  }
+}
+
+void VirtualMachine::maybe_finish_drain() {
+  if (state_ == VmState::kDraining && in_flight_ == 0) {
+    advance_accounting(engine_.now());
+    state_ = VmState::kStopped;
+  }
+}
+
+void VirtualMachine::submit(workload::QueryCompletionFn on_done) {
+  AMOEBA_EXPECTS(on_done != nullptr);
+  AMOEBA_EXPECTS_MSG(state_ == VmState::kRunning,
+                     "submit() requires a running VM");
+  ++in_flight_;
+
+  auto rec = std::make_shared<workload::QueryRecord>();
+  rec->id = next_query_id_++;
+  rec->function = profile_.name;
+  rec->arrival = engine_.now();
+  rec->breakdown.overhead_s = profile_.rpc_overhead_s;
+
+  const double cpu_work =
+      profile_.exec.cpu_seconds > 0.0
+          ? rng_.lognormal_mean_cv(profile_.exec.cpu_seconds, profile_.cpu_cv)
+          : 0.0;
+  rec->cpu_work_done = cpu_work;
+
+  auto finish = [this, rec, done = std::move(on_done)]() mutable {
+    rec->completion = engine_.now();
+    --in_flight_;
+    done(*rec);
+    maybe_finish_drain();
+  };
+
+  auto net_phase = [this, rec, bytes = profile_.exec.net_bytes,
+                    next = std::move(finish)]() mutable {
+    if (bytes <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    net_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.exec_s += engine_.now() - t0;
+      next();
+    });
+  };
+
+  auto io_phase = [this, rec, bytes = profile_.exec.io_bytes,
+                   next = std::move(net_phase)]() mutable {
+    if (bytes <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    disk_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.exec_s += engine_.now() - t0;
+      next();
+    });
+  };
+
+  auto cpu_phase = [this, rec, cpu_work, next = std::move(io_phase)]() mutable {
+    if (cpu_work <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    // Each request uses at most one core (a service worker is a thread).
+    cpu_.open(cpu_work, 1.0, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.exec_s += engine_.now() - t0;
+      next();
+    });
+  };
+
+  if (profile_.rpc_overhead_s > 0.0) {
+    engine_.schedule_in(profile_.rpc_overhead_s, std::move(cpu_phase));
+  } else {
+    cpu_phase();
+  }
+}
+
+double VirtualMachine::rented_core_seconds(sim::Time now) {
+  advance_accounting(now);
+  return rented_core_s_;
+}
+
+double VirtualMachine::rented_memory_mb_seconds(sim::Time now) {
+  advance_accounting(now);
+  return rented_mb_s_;
+}
+
+double VirtualMachine::busy_core_seconds(sim::Time now) {
+  return cpu_.busy_capacity_seconds(now);
+}
+
+double VirtualMachine::uptime_seconds(sim::Time now) {
+  advance_accounting(now);
+  return uptime_s_;
+}
+
+}  // namespace amoeba::iaas

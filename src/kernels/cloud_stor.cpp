@@ -1,0 +1,95 @@
+#include "kernels/cloud_stor.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::kernels {
+
+CloudStorResult run_cloud_stor(std::size_t total_bytes,
+                               std::size_t chunk_bytes) {
+  AMOEBA_EXPECTS(total_bytes > 0);
+  AMOEBA_EXPECTS(chunk_bytes > 0);
+
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error("cloud_stor: socketpair failed");
+  }
+
+  std::vector<char> chunk(chunk_bytes);
+  for (std::size_t i = 0; i < chunk_bytes; ++i) {
+    chunk[i] = static_cast<char>((i * 167) & 0xff);
+  }
+
+  std::uint64_t sent_sum = 0;
+  std::uint64_t recv_sum = 0;
+  bool send_ok = true;
+  bool recv_ok = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::thread receiver([&] {
+    std::vector<char> buf(chunk_bytes);
+    std::size_t remaining = total_bytes;
+    while (remaining > 0) {
+      const std::size_t want = std::min(chunk_bytes, remaining);
+      const ssize_t n = ::read(fds[1], buf.data(), want);
+      if (n <= 0) {
+        recv_ok = false;
+        return;
+      }
+      for (ssize_t i = 0; i < n; ++i) {
+        recv_sum += static_cast<unsigned char>(buf[static_cast<std::size_t>(i)]);
+      }
+      remaining -= static_cast<std::size_t>(n);
+    }
+  });
+
+  {
+    std::size_t remaining = total_bytes;
+    while (remaining > 0) {
+      const std::size_t n = std::min(chunk_bytes, remaining);
+      std::size_t off = 0;
+      while (off < n) {
+        const ssize_t w = ::write(fds[0], chunk.data() + off, n - off);
+        if (w <= 0) {
+          send_ok = false;
+          break;
+        }
+        off += static_cast<std::size_t>(w);
+      }
+      if (!send_ok) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        sent_sum += static_cast<unsigned char>(chunk[i]);
+      }
+      remaining -= n;
+    }
+  }
+  receiver.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  if (!send_ok || !recv_ok) {
+    throw std::runtime_error("cloud_stor: transfer failed");
+  }
+
+  CloudStorResult out;
+  out.bytes = total_bytes;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.mbps = out.seconds > 0.0
+                 ? static_cast<double>(total_bytes) / 1e6 / out.seconds
+                 : 0.0;
+  out.verified = sent_sum == recv_sum;
+  return out;
+}
+
+}  // namespace amoeba::kernels

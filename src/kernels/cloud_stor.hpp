@@ -1,0 +1,23 @@
+// FunctionBench `cloud_stor` kernel: stream bytes between an uploader and
+// a downloader thread over a Unix socket pair — the network-bound
+// microservice body (object-storage get/put), runnable without a network.
+#pragma once
+
+#include <cstddef>
+
+namespace amoeba::kernels {
+
+struct CloudStorResult {
+  double seconds = 0.0;
+  double mbps = 0.0;       ///< end-to-end MB/s
+  std::size_t bytes = 0;
+  bool verified = false;   ///< receiver checksum matched sender
+};
+
+/// Transfer `total_bytes` in `chunk_bytes` writes from a sender thread to
+/// a receiver thread over socketpair(AF_UNIX, SOCK_STREAM). Throws
+/// std::runtime_error on socket failure.
+[[nodiscard]] CloudStorResult run_cloud_stor(std::size_t total_bytes,
+                                             std::size_t chunk_bytes = 64 * 1024);
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,92 @@
+#include "kernels/dd_io.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::kernels {
+
+DdResult run_dd(std::size_t total_bytes, std::size_t block_bytes,
+                const std::string& dir) {
+  AMOEBA_EXPECTS(total_bytes > 0);
+  AMOEBA_EXPECTS(block_bytes > 0);
+  namespace fs = std::filesystem;
+  const fs::path base = dir.empty() ? fs::temp_directory_path() : fs::path(dir);
+  const fs::path path =
+      base / ("amoeba_dd_" + std::to_string(::getpid()) + "_" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(&total_bytes)) +
+              ".bin");
+
+  std::vector<char> block(block_bytes);
+  for (std::size_t i = 0; i < block_bytes; ++i) {
+    block[i] = static_cast<char>((i * 131) & 0xff);
+  }
+  std::uint64_t write_sum = 0;
+
+  DdResult out;
+  out.bytes = total_bytes;
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("dd: cannot open " + path.string());
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t written = 0;
+    while (written < total_bytes) {
+      const std::size_t n = std::min(block_bytes, total_bytes - written);
+      f.write(block.data(), static_cast<std::streamsize>(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        write_sum += static_cast<unsigned char>(block[i]);
+      }
+      written += n;
+    }
+    f.flush();
+    if (!f) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      throw std::runtime_error("dd: write failed on " + path.string());
+    }
+    out.write_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("dd: cannot reopen " + path.string());
+    std::uint64_t read_sum = 0;
+    std::vector<char> buf(block_bytes);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t remaining = total_bytes;
+    while (remaining > 0) {
+      const std::size_t n = std::min(block_bytes, remaining);
+      f.read(buf.data(), static_cast<std::streamsize>(n));
+      if (f.gcount() != static_cast<std::streamsize>(n)) {
+        std::error_code ec;
+        fs::remove(path, ec);
+        throw std::runtime_error("dd: short read on " + path.string());
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        read_sum += static_cast<unsigned char>(buf[i]);
+      }
+      remaining -= n;
+    }
+    out.read_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out.verified = read_sum == write_sum;
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  const double mb = static_cast<double>(total_bytes) / 1e6;
+  out.write_mbps = out.write_seconds > 0.0 ? mb / out.write_seconds : 0.0;
+  out.read_mbps = out.read_seconds > 0.0 ? mb / out.read_seconds : 0.0;
+  return out;
+}
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,26 @@
+// FunctionBench `dd` kernel: sequential block write + read of a scratch
+// file, the disk-IO-bound microservice body.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace amoeba::kernels {
+
+struct DdResult {
+  double write_seconds = 0.0;
+  double read_seconds = 0.0;
+  double write_mbps = 0.0;  ///< MB/s
+  double read_mbps = 0.0;
+  std::size_t bytes = 0;
+  bool verified = false;  ///< read-back checksum matched
+};
+
+/// Write `total_bytes` in `block_bytes` blocks to a scratch file under
+/// `dir` (default: the system temp dir), read it back, verify, and remove
+/// it. Throws std::runtime_error on IO failure.
+[[nodiscard]] DdResult run_dd(std::size_t total_bytes,
+                              std::size_t block_bytes = 1 << 20,
+                              const std::string& dir = {});
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,39 @@
+#include "kernels/float_op.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "kernels/thread_pool.hpp"
+
+namespace amoeba::kernels {
+
+FloatOpResult run_float_op(std::size_t iterations, unsigned threads) {
+  AMOEBA_EXPECTS(iterations > 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<double> total{0.0};
+
+  parallel_chunks(iterations, threads, [&](std::size_t begin, std::size_t end) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      // The FunctionBench float body: chained transcendentals on a value
+      // derived from the index, so iterations are independent.
+      const double x = 0.5 + static_cast<double>(i % 1000) * 1e-3;
+      acc += std::sqrt(std::sin(x) * std::sin(x) + std::cos(x) * std::cos(x) +
+                       x);
+    }
+    double expected = total.load(std::memory_order_relaxed);
+    while (!total.compare_exchange_weak(expected, expected + acc)) {
+    }
+  });
+
+  FloatOpResult out;
+  out.checksum = total.load();
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,20 @@
+// FunctionBench `float` kernel: transcendental floating-point operations
+// (sin/cos/sqrt chains), the CPU-bound microservice body.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace amoeba::kernels {
+
+struct FloatOpResult {
+  double checksum = 0.0;   ///< data-dependent sum (defeats dead-code elim)
+  double seconds = 0.0;    ///< wall time of the kernel body
+};
+
+/// Run `iterations` sin/cos/sqrt rounds, optionally split over `threads`
+/// workers. Deterministic checksum for a given (iterations, threads=1).
+[[nodiscard]] FloatOpResult run_float_op(std::size_t iterations,
+                                         unsigned threads = 1);
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,119 @@
+#include "kernels/linpack.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "kernels/thread_pool.hpp"
+
+namespace amoeba::kernels {
+
+bool lu_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n,
+              unsigned threads) {
+  AMOEBA_EXPECTS(n > 0);
+  AMOEBA_EXPECTS(a.size() == n * n && b.size() == n);
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |a[i][k]| for i >= k.
+    std::size_t pivot = k;
+    double best = std::abs(a[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(a[i * n + k]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) return false;  // singular
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[k * n + j], a[pivot * n + j]);
+      }
+      std::swap(b[k], b[pivot]);
+    }
+
+    const double akk = a[k * n + k];
+    // Trailing update, parallel over rows below the pivot.
+    const std::size_t rows_below = n - k - 1;
+    if (rows_below > 0) {
+      parallel_chunks(rows_below, threads, [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          const std::size_t i = k + 1 + r;
+          const double factor = a[i * n + k] / akk;
+          a[i * n + k] = factor;  // store L in place
+          if (factor == 0.0) continue;
+          const double* arow_k = &a[k * n];
+          double* arow_i = &a[i * n];
+          for (std::size_t j = k + 1; j < n; ++j) {
+            arow_i[j] -= factor * arow_k[j];
+          }
+        }
+      });
+      for (std::size_t i = k + 1; i < n; ++i) {
+        b[i] -= a[i * n + k] * b[k];
+      }
+    }
+  }
+
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= a[ii * n + j] * b[j];
+    b[ii] = sum / a[ii * n + ii];
+  }
+  return true;
+}
+
+LinpackResult run_linpack(std::size_t n, unsigned threads) {
+  AMOEBA_EXPECTS(n > 0);
+  // Deterministic well-conditioned inputs.
+  std::vector<double> a(n * n), a0;
+  std::vector<double> b(n, 0.0), b0;
+  std::uint64_t s = 0x9E3779B97F4A7C15ULL;
+  double norm_a = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double v = static_cast<double>(s >> 40) * 0x1.0p-24 - 0.5;
+      a[i * n + j] = v;
+      row_sum += std::abs(v);
+    }
+    a[i * n + i] += row_sum;  // diagonal dominance: never singular
+    norm_a = std::max(norm_a, 2.0 * row_sum);
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    b[i] = static_cast<double>(s >> 40) * 0x1.0p-24 - 0.5;
+  }
+  a0 = a;
+  b0 = b;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = lu_solve(a, b, n, threads);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  AMOEBA_ASSERT_MSG(ok, "diagonally dominant system cannot be singular");
+
+  LinpackResult out;
+  out.seconds = seconds;
+  double norm_x = 0.0;
+  for (double x : b) norm_x = std::max(norm_x, std::abs(x));
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0.0;
+    for (std::size_t j = 0; j < n; ++j) ax += a0[i * n + j] * b[j];
+    out.residual = std::max(out.residual, std::abs(ax - b0[i]));
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  out.normalized_residual =
+      out.residual / (static_cast<double>(n) * norm_a * norm_x * eps);
+  const double flops = 2.0 / 3.0 * static_cast<double>(n) *
+                       static_cast<double>(n) * static_cast<double>(n);
+  out.gflops = seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+  return out;
+}
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,26 @@
+// FunctionBench `linpack` kernel: solve Ax = b via LU decomposition with
+// partial pivoting, reporting the standard LINPACK residual check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace amoeba::kernels {
+
+struct LinpackResult {
+  double residual = 0.0;       ///< ||Ax - b||_inf
+  double normalized_residual = 0.0;  ///< residual / (n * ||A|| * ||x|| * eps)
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+/// Solve a deterministic dense n×n system. `threads` parallelizes the
+/// trailing-submatrix update of the factorization.
+[[nodiscard]] LinpackResult run_linpack(std::size_t n, unsigned threads = 1);
+
+/// Exposed for tests: LU-solve the given system in place. `a` is row-major
+/// n×n (destroyed), `b` length n (becomes x). Returns false if singular.
+[[nodiscard]] bool lu_solve(std::vector<double>& a, std::vector<double>& b,
+                            std::size_t n, unsigned threads = 1);
+
+}  // namespace amoeba::kernels

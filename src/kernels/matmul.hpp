@@ -1,0 +1,27 @@
+// FunctionBench `matmul` kernel: dense square matrix product, blocked for
+// cache locality and parallelized over row blocks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace amoeba::kernels {
+
+struct MatmulResult {
+  double checksum = 0.0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+/// C = A·B for deterministic pseudo-random n×n inputs.
+[[nodiscard]] MatmulResult run_matmul(std::size_t n, unsigned threads = 1,
+                                      std::size_t block = 64);
+
+/// Exposed for tests: multiply explicit row-major matrices (a: n×n,
+/// b: n×n) into the returned n×n product using the same blocked path.
+[[nodiscard]] std::vector<double> matmul(const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         std::size_t n, unsigned threads = 1,
+                                         std::size_t block = 64);
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,71 @@
+#include "kernels/native_meters.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "kernels/cloud_stor.hpp"
+#include "kernels/dd_io.hpp"
+#include "kernels/float_op.hpp"
+
+namespace amoeba::kernels {
+
+double run_native_meter_once(NativeMeterKind kind) {
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (kind) {
+    case NativeMeterKind::kCpu: {
+      (void)run_float_op(400'000, 1);
+      break;
+    }
+    case NativeMeterKind::kDiskIo: {
+      (void)run_dd(4 << 20, 256 << 10);
+      break;
+    }
+    case NativeMeterKind::kNetwork: {
+      (void)run_cloud_stor(4 << 20, 64 << 10);
+      break;
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<MeterLoadPoint> run_meter_under_load(
+    NativeMeterKind kind, const std::vector<unsigned>& background_sweep,
+    std::size_t repetitions) {
+  AMOEBA_EXPECTS(repetitions > 0);
+  std::vector<MeterLoadPoint> out;
+  out.reserve(background_sweep.size());
+
+  for (unsigned bg : background_sweep) {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> spinners;
+    spinners.reserve(bg);
+    for (unsigned i = 0; i < bg; ++i) {
+      spinners.emplace_back([&stop] {
+        volatile double sink = 0.0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int k = 0; k < 4096; ++k) sink = sink + 1e-9;
+        }
+      });
+    }
+
+    MeterLoadPoint point;
+    point.background_threads = bg;
+    double sum = 0.0;
+    for (std::size_t r = 0; r < repetitions; ++r) {
+      const double lat = run_native_meter_once(kind);
+      sum += lat;
+      point.max_latency_s = std::max(point.max_latency_s, lat);
+    }
+    point.mean_latency_s = sum / static_cast<double>(repetitions);
+
+    stop.store(true);
+    for (auto& t : spinners) t.join();
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,33 @@
+// Host-level contention meters — the native analogue of the paper's
+// "delicate functions" (§IV-B), runnable on a real machine.
+//
+// Each meter executes a small fixed-work probe and reports its latency;
+// under co-located load the latency inflates exactly like the simulated
+// meters' curves. `run_meter_under_load` demonstrates the calibration
+// experiment on the host itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace amoeba::kernels {
+
+enum class NativeMeterKind { kCpu, kDiskIo, kNetwork };
+
+/// One probe execution; returns its wall-clock latency in seconds.
+[[nodiscard]] double run_native_meter_once(NativeMeterKind kind);
+
+struct MeterLoadPoint {
+  unsigned background_threads = 0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+};
+
+/// Fig. 8 on the host: run the probe `repetitions` times while
+/// `background_threads` CPU-spinner threads load the machine, for each
+/// thread count in `background_sweep`.
+[[nodiscard]] std::vector<MeterLoadPoint> run_meter_under_load(
+    NativeMeterKind kind, const std::vector<unsigned>& background_sweep,
+    std::size_t repetitions = 5);
+
+}  // namespace amoeba::kernels

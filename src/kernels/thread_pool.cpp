@@ -1,0 +1,49 @@
+#include "kernels/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amoeba::kernels {
+
+unsigned kernel_threads(unsigned requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_chunks(std::size_t n, unsigned threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  AMOEBA_EXPECTS(fn != nullptr);
+  if (n == 0) return;
+  const auto workers = static_cast<std::size_t>(
+      std::min<std::size_t>(kernel_threads(threads), n));
+  if (workers <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,24 @@
+// Minimal blocking fork-join helper for the native kernels.
+//
+// The kernels parallelize with plain std::thread (per the repository's
+// HPC guides: explicit parallelism, no hidden runtime). `parallel_chunks`
+// splits [0, n) into contiguous chunks, one per worker.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/assert.hpp"
+
+namespace amoeba::kernels {
+
+/// Run `fn(begin, end)` over contiguous chunks of [0, n) on up to
+/// `threads` std::threads (0 = hardware concurrency). Blocks until all
+/// chunks complete. Exceptions from workers propagate (first one wins).
+void parallel_chunks(std::size_t n, unsigned threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Effective worker count used by parallel_chunks.
+[[nodiscard]] unsigned kernel_threads(unsigned requested) noexcept;
+
+}  // namespace amoeba::kernels

@@ -1,0 +1,88 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace amoeba::linalg {
+
+EigenDecomposition jacobi_eigen(const Matrix& a, double symmetry_tol,
+                                int max_sweeps) {
+  AMOEBA_EXPECTS(a.is_square());
+  AMOEBA_EXPECTS_MSG(a.is_symmetric(symmetry_tol),
+                     "jacobi_eigen requires a symmetric matrix");
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diagonal_norm = [&m, n] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(m.frobenius_norm(), 1e-300);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= 1e-14 * scale) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        // Classic stable rotation angle computation.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](std::size_t i, std::size_t j) { return diag[i] > diag[j]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = diag[order[c]];
+    // Fix the sign convention: largest-magnitude component positive, so the
+    // decomposition is deterministic across runs.
+    const auto col = v.col_vector(order[c]);
+    std::size_t imax = 0;
+    for (std::size_t r = 1; r < n; ++r)
+      if (std::abs(col[r]) > std::abs(col[imax])) imax = r;
+    const double sign = col[imax] < 0.0 ? -1.0 : 1.0;
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, c) = sign * col[r];
+  }
+  return out;
+}
+
+}  // namespace amoeba::linalg

@@ -1,0 +1,24 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+// Robust and simple for the small (<= ~16x16) covariance matrices PCA sees.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace amoeba::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  Matrix vectors;
+};
+
+/// Decompose a symmetric matrix. Throws ContractError if `a` is not square
+/// or not symmetric within `symmetry_tol`.
+[[nodiscard]] EigenDecomposition jacobi_eigen(const Matrix& a,
+                                              double symmetry_tol = 1e-9,
+                                              int max_sweeps = 64);
+
+}  // namespace amoeba::linalg

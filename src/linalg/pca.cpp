@@ -1,0 +1,144 @@
+#include "linalg/pca.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/least_squares.hpp"
+
+namespace amoeba::linalg {
+
+double PcaModel::explained_variance() const {
+  const double total =
+      std::accumulate(eigenvalues.begin(), eigenvalues.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  double kept = 0.0;
+  for (std::size_t i = 0; i < retained; ++i) kept += eigenvalues[i];
+  return kept / total;
+}
+
+std::vector<double> PcaModel::transform(const std::vector<double>& x) const {
+  AMOEBA_EXPECTS(x.size() == means.size());
+  const std::size_t d = means.size();
+  std::vector<double> z(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    z[i] = (x[i] - means[i]) / scales[i];
+  }
+  std::vector<double> scores(retained, 0.0);
+  for (std::size_t c = 0; c < retained; ++c) {
+    for (std::size_t i = 0; i < d; ++i) scores[c] += components(i, c) * z[i];
+  }
+  return scores;
+}
+
+PcaModel fit_pca(const Matrix& samples, double min_explained) {
+  AMOEBA_EXPECTS(samples.rows() >= 2);
+  AMOEBA_EXPECTS(min_explained > 0.0 && min_explained <= 1.0);
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+
+  PcaModel model;
+  model.means.assign(d, 0.0);
+  model.scales.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += samples(i, j);
+    model.means[j] = m / static_cast<double>(n);
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    double s2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dev = samples(i, j) - model.means[j];
+      s2 += dev * dev;
+    }
+    s2 /= static_cast<double>(n - 1);
+    model.scales[j] = s2 > 1e-24 ? std::sqrt(s2) : 1.0;
+  }
+
+  // Correlation matrix of standardized features.
+  Matrix corr(d, d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      const double za = (samples(i, a) - model.means[a]) / model.scales[a];
+      for (std::size_t b = a; b < d; ++b) {
+        const double zb = (samples(i, b) - model.means[b]) / model.scales[b];
+        corr(a, b) += za * zb;
+      }
+    }
+  }
+  for (std::size_t a = 0; a < d; ++a)
+    for (std::size_t b = a; b < d; ++b) {
+      const double v = corr(a, b) / static_cast<double>(n - 1);
+      corr(a, b) = v;
+      corr(b, a) = v;
+    }
+
+  EigenDecomposition eig = jacobi_eigen(corr);
+  // Clamp tiny negative eigenvalues caused by rounding.
+  for (auto& v : eig.values) v = std::max(v, 0.0);
+
+  model.eigenvalues = eig.values;
+  model.components = eig.vectors;
+
+  const double total =
+      std::accumulate(eig.values.begin(), eig.values.end(), 0.0);
+  double kept = 0.0;
+  model.retained = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    kept += eig.values[i];
+    ++model.retained;
+    if (total <= 0.0 || kept / total >= min_explained) break;
+  }
+  return model;
+}
+
+double PcrModel::predict(const std::vector<double>& x) const {
+  const auto scores = pca.transform(x);
+  return intercept + dot(scores, score_coeffs);
+}
+
+std::vector<double> PcrModel::raw_coefficients() const {
+  const std::size_t d = pca.means.size();
+  std::vector<double> beta(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t c = 0; c < pca.retained; ++c) {
+      beta[i] += pca.components(i, c) * score_coeffs[c];
+    }
+    beta[i] /= pca.scales[i];
+  }
+  return beta;
+}
+
+double PcrModel::raw_intercept() const {
+  const auto beta = raw_coefficients();
+  return intercept - dot(beta, pca.means);
+}
+
+PcrModel fit_pcr(const Matrix& x, const std::vector<double>& y,
+                 double min_explained, double ridge) {
+  AMOEBA_EXPECTS(x.rows() == y.size());
+  AMOEBA_EXPECTS(x.rows() >= 2);
+
+  PcrModel model;
+  model.pca = fit_pca(x, min_explained);
+  const std::size_t n = x.rows();
+  const std::size_t k = model.pca.retained;
+
+  // Design matrix of scores, plus intercept handled by centering y.
+  Matrix scores(n, k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = model.pca.transform(x.row_vector(i));
+    for (std::size_t c = 0; c < k; ++c) scores(i, c) = s[c];
+  }
+  double ymean = 0.0;
+  for (double v : y) ymean += v;
+  ymean /= static_cast<double>(n);
+  std::vector<double> yc(n);
+  for (std::size_t i = 0; i < n; ++i) yc[i] = y[i] - ymean;
+
+  model.score_coeffs = solve_least_squares(scores, yc, ridge);
+  model.intercept = ymean;  // scores are zero-mean by construction
+  return model;
+}
+
+}  // namespace amoeba::linalg

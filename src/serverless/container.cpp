@@ -1,0 +1,14 @@
+#include "serverless/container.hpp"
+
+namespace amoeba::serverless {
+
+const char* to_string(ContainerState s) noexcept {
+  switch (s) {
+    case ContainerState::kStarting: return "starting";
+    case ContainerState::kIdle: return "idle";
+    case ContainerState::kBusy: return "busy";
+  }
+  return "?";
+}
+
+}  // namespace amoeba::serverless

@@ -1,0 +1,38 @@
+// Container lifecycle model for the serverless platform.
+//
+// A container belongs to exactly one function (OpenWhisk semantics), holds
+// its memory reservation from creation to destruction, and executes at most
+// one invocation at a time (paper §V-A: "most serverless platforms allow
+// only one execution at a time in a container").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace amoeba::serverless {
+
+using ContainerId = std::uint64_t;
+
+enum class ContainerState : std::uint8_t {
+  kStarting,  ///< cold start in progress (memory already reserved)
+  kIdle,      ///< warm, waiting for work; keep-alive timer running
+  kBusy,      ///< executing one invocation
+};
+
+[[nodiscard]] const char* to_string(ContainerState s) noexcept;
+
+struct Container {
+  ContainerId id = 0;
+  std::string function;
+  ContainerState state = ContainerState::kStarting;
+  double memory_mb = 0.0;
+  sim::Time created_at = 0.0;
+  sim::Time ready_at = 0.0;            ///< when the cold start finished
+  sim::Time idle_since = 0.0;          ///< valid while state == kIdle
+  sim::EventId expiry_event = sim::kNoEvent;
+  std::uint64_t invocations_served = 0;
+};
+
+}  // namespace amoeba::serverless

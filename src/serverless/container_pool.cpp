@@ -1,0 +1,197 @@
+#include "serverless/container_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace amoeba::serverless {
+
+ContainerPool::ContainerPool(sim::Engine& engine, double memory_capacity_mb,
+                             double keep_alive_s)
+    : engine_(engine),
+      memory_(engine, "pool_memory", memory_capacity_mb),
+      keep_alive_s_(keep_alive_s) {
+  AMOEBA_EXPECTS(keep_alive_s > 0.0);
+}
+
+std::optional<ContainerId> ContainerPool::start(
+    const std::string& function, double memory_mb, double boot_s,
+    std::function<void(ContainerId)> on_ready) {
+  AMOEBA_EXPECTS(memory_mb > 0.0);
+  AMOEBA_EXPECTS(boot_s >= 0.0);
+  AMOEBA_EXPECTS(on_ready != nullptr);
+  if (!memory_.try_acquire(memory_mb)) return std::nullopt;
+
+  const ContainerId id = next_id_++;
+  Container c;
+  c.id = id;
+  c.function = function;
+  c.state = ContainerState::kStarting;
+  c.memory_mb = memory_mb;
+  c.created_at = engine_.now();
+  containers_.emplace(id, std::move(c));
+  counts_by_fn_[function].starting += 1;
+  auto [it, inserted] = mem_gauge_by_fn_.try_emplace(
+      function, stats::IntegratedGauge(engine_.now()));
+  it->second.add(engine_.now(), memory_mb);
+  ++cold_starts_;
+
+  engine_.schedule_in(boot_s, [this, id, cb = std::move(on_ready)] {
+    auto cit = containers_.find(id);
+    if (cit == containers_.end()) return;  // destroyed while starting
+    Container& cont = cit->second;
+    AMOEBA_ASSERT(cont.state == ContainerState::kStarting);
+    cont.state = ContainerState::kIdle;
+    cont.ready_at = engine_.now();
+    cont.idle_since = engine_.now();
+    counts_by_fn_[cont.function].starting -= 1;
+    counts_by_fn_[cont.function].idle += 1;
+    idle_by_fn_[cont.function].push_back(id);
+    cont.expiry_event =
+        engine_.schedule_in(keep_alive_s_, [this, id] { expire(id); });
+    cb(id);
+  });
+  return id;
+}
+
+bool ContainerPool::memory_available(double memory_mb) const {
+  return memory_.available() + 1e-9 >= memory_mb;
+}
+
+bool ContainerPool::evict_lru_idle(const std::string& exclude_function) {
+  ContainerId victim = 0;
+  double oldest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, c] : containers_) {
+    if (c.state != ContainerState::kIdle) continue;
+    if (!exclude_function.empty() && c.function == exclude_function) continue;
+    if (c.idle_since < oldest) {
+      oldest = c.idle_since;
+      victim = id;
+    }
+  }
+  if (victim == 0) return false;
+  ++evictions_;
+  destroy(victim);
+  return true;
+}
+
+std::optional<ContainerId> ContainerPool::acquire_idle(
+    const std::string& function) {
+  auto it = idle_by_fn_.find(function);
+  if (it == idle_by_fn_.end() || it->second.empty()) return std::nullopt;
+  const ContainerId id = it->second.back();
+  mark_busy(id);
+  return id;
+}
+
+void ContainerPool::mark_busy(ContainerId id) {
+  Container& c = get_mutable(id);
+  AMOEBA_EXPECTS_MSG(c.state == ContainerState::kIdle,
+                     "only idle containers can take work");
+  auto& idles = idle_by_fn_[c.function];
+  idles.erase(std::remove(idles.begin(), idles.end(), id), idles.end());
+  if (c.expiry_event != sim::kNoEvent) {
+    engine_.cancel(c.expiry_event);
+    c.expiry_event = sim::kNoEvent;
+  }
+  c.state = ContainerState::kBusy;
+  ++c.invocations_served;
+  counts_by_fn_[c.function].idle -= 1;
+  counts_by_fn_[c.function].busy += 1;
+}
+
+void ContainerPool::release_to_idle(ContainerId id) {
+  Container& c = get_mutable(id);
+  AMOEBA_EXPECTS(c.state == ContainerState::kBusy);
+  c.state = ContainerState::kIdle;
+  c.idle_since = engine_.now();
+  counts_by_fn_[c.function].busy -= 1;
+  counts_by_fn_[c.function].idle += 1;
+  idle_by_fn_[c.function].push_back(id);
+  c.expiry_event =
+      engine_.schedule_in(keep_alive_s_, [this, id] { expire(id); });
+}
+
+void ContainerPool::destroy(ContainerId id) {
+  auto it = containers_.find(id);
+  AMOEBA_EXPECTS_MSG(it != containers_.end(), "destroying unknown container");
+  Container& c = it->second;
+  switch (c.state) {
+    case ContainerState::kStarting:
+      counts_by_fn_[c.function].starting -= 1;
+      break;
+    case ContainerState::kIdle: {
+      counts_by_fn_[c.function].idle -= 1;
+      auto& idles = idle_by_fn_[c.function];
+      idles.erase(std::remove(idles.begin(), idles.end(), id), idles.end());
+      break;
+    }
+    case ContainerState::kBusy:
+      counts_by_fn_[c.function].busy -= 1;
+      break;
+  }
+  if (c.expiry_event != sim::kNoEvent) engine_.cancel(c.expiry_event);
+  mem_gauge_by_fn_.at(c.function).add(engine_.now(), -c.memory_mb);
+  memory_.release(c.memory_mb);
+  containers_.erase(it);
+}
+
+int ContainerPool::destroy_idle(const std::string& function) {
+  std::vector<ContainerId> victims;
+  for (const auto& [id, c] : containers_) {
+    if (c.function == function && c.state == ContainerState::kIdle) {
+      victims.push_back(id);
+    }
+  }
+  for (ContainerId id : victims) destroy(id);
+  return static_cast<int>(victims.size());
+}
+
+void ContainerPool::expire(ContainerId id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  if (it->second.state != ContainerState::kIdle) return;
+  it->second.expiry_event = sim::kNoEvent;
+  destroy(id);
+}
+
+const Container& ContainerPool::get(ContainerId id) const {
+  auto it = containers_.find(id);
+  AMOEBA_EXPECTS_MSG(it != containers_.end(), "unknown container id");
+  return it->second;
+}
+
+Container& ContainerPool::get_mutable(ContainerId id) {
+  auto it = containers_.find(id);
+  AMOEBA_EXPECTS_MSG(it != containers_.end(), "unknown container id");
+  return it->second;
+}
+
+PoolCounts ContainerPool::counts(const std::string& function) const {
+  auto it = counts_by_fn_.find(function);
+  return it == counts_by_fn_.end() ? PoolCounts{} : it->second;
+}
+
+PoolCounts ContainerPool::total_counts() const {
+  PoolCounts total;
+  for (const auto& [fn, c] : counts_by_fn_) {
+    total.starting += c.starting;
+    total.idle += c.idle;
+    total.busy += c.busy;
+  }
+  return total;
+}
+
+int ContainerPool::headroom(double memory_mb) const {
+  AMOEBA_EXPECTS(memory_mb > 0.0);
+  return static_cast<int>(memory_.available() / memory_mb);
+}
+
+double ContainerPool::memory_mb_seconds(const std::string& function,
+                                        sim::Time now) {
+  auto it = mem_gauge_by_fn_.find(function);
+  if (it == mem_gauge_by_fn_.end()) return 0.0;
+  return it->second.integral(now);
+}
+
+}  // namespace amoeba::serverless

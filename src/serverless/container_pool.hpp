@@ -1,0 +1,108 @@
+// Container pool: creation, warm reuse, keep-alive expiry, LRU eviction.
+//
+// The pool owns all containers on the serverless node and the memory
+// reservation that caps their number (paper §IV-A's n_max: "an upper limit
+// for container quantity ... limited by the resource consumption"). The
+// platform layers dispatch and invocation execution on top.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serverless/container.hpp"
+#include "sim/counting_resource.hpp"
+#include "sim/engine.hpp"
+#include "stats/gauge.hpp"
+
+namespace amoeba::serverless {
+
+struct PoolCounts {
+  int starting = 0;
+  int idle = 0;
+  int busy = 0;
+  [[nodiscard]] int total() const noexcept { return starting + idle + busy; }
+};
+
+class ContainerPool {
+ public:
+  /// `memory` is the node's container-memory budget; `keep_alive_s` the
+  /// warm-container TTL.
+  ContainerPool(sim::Engine& engine, double memory_capacity_mb,
+                double keep_alive_s);
+
+  /// Begin a cold start for `function`. Reserves `memory_mb` immediately;
+  /// after `boot_s` simulated seconds the container turns idle and
+  /// `on_ready(id)` fires. Returns nullopt if memory is insufficient
+  /// (caller may evict_lru_idle() and retry).
+  std::optional<ContainerId> start(const std::string& function,
+                                   double memory_mb, double boot_s,
+                                   std::function<void(ContainerId)> on_ready);
+
+  /// True if `memory_mb` could be reserved right now.
+  [[nodiscard]] bool memory_available(double memory_mb) const;
+
+  /// Evict the least-recently-used idle container (optionally excluding one
+  /// function's containers). Returns true if something was evicted.
+  bool evict_lru_idle(const std::string& exclude_function = {});
+
+  /// Pop the most-recently-used idle container of `function` (LIFO reuse
+  /// keeps the warm set small). Returns nullopt if none idle.
+  std::optional<ContainerId> acquire_idle(const std::string& function);
+
+  /// Return a busy container to the idle set and arm its keep-alive timer.
+  void release_to_idle(ContainerId id);
+
+  /// Destroy a container in any state and free its memory.
+  void destroy(ContainerId id);
+
+  /// Destroy every idle container of `function` (switch-back reclaim).
+  /// Returns how many were destroyed.
+  int destroy_idle(const std::string& function);
+
+  /// Mark an idle container busy (used when assigning work).
+  void mark_busy(ContainerId id);
+
+  [[nodiscard]] const Container& get(ContainerId id) const;
+  [[nodiscard]] Container& get_mutable(ContainerId id);
+
+  [[nodiscard]] PoolCounts counts(const std::string& function) const;
+  [[nodiscard]] PoolCounts total_counts() const;
+
+  /// Number of additional containers of `memory_mb` that could start now.
+  [[nodiscard]] int headroom(double memory_mb) const;
+
+  [[nodiscard]] double memory_capacity_mb() const noexcept {
+    return memory_.capacity();
+  }
+  [[nodiscard]] double memory_in_use_mb() const noexcept {
+    return memory_.in_use();
+  }
+
+  /// Per-function container-memory integral (MB·s) through `now`.
+  double memory_mb_seconds(const std::string& function, sim::Time now);
+
+  [[nodiscard]] std::uint64_t cold_starts() const noexcept {
+    return cold_starts_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  void expire(ContainerId id);
+
+  sim::Engine& engine_;
+  sim::CountingResource memory_;
+  double keep_alive_s_;
+  ContainerId next_id_ = 1;
+  std::map<ContainerId, Container> containers_;  // deterministic iteration
+  std::unordered_map<std::string, std::vector<ContainerId>> idle_by_fn_;
+  std::unordered_map<std::string, PoolCounts> counts_by_fn_;
+  std::unordered_map<std::string, stats::IntegratedGauge> mem_gauge_by_fn_;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace amoeba::serverless

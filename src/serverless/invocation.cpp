@@ -1,0 +1,3 @@
+// Intentionally empty: invocation.hpp is all declarations. Kept so the
+// build lists every header's translation unit explicitly.
+#include "serverless/invocation.hpp"

@@ -1,0 +1,14 @@
+// Serverless-side aliases for the shared per-query record types.
+// The canonical definitions live in workload/query.hpp so the IaaS platform
+// can produce identical records without depending on this library.
+#pragma once
+
+#include "workload/query.hpp"
+
+namespace amoeba::serverless {
+
+using LatencyBreakdown = workload::LatencyBreakdown;
+using QueryRecord = workload::QueryRecord;
+using QueryCompletionFn = workload::QueryCompletionFn;
+
+}  // namespace amoeba::serverless

@@ -1,0 +1,320 @@
+#include "serverless/platform.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amoeba::serverless {
+
+void PlatformConfig::validate() const {
+  AMOEBA_EXPECTS(cores > 0.0);
+  AMOEBA_EXPECTS(pool_memory_mb > 0.0);
+  AMOEBA_EXPECTS(disk_bps > 0.0);
+  AMOEBA_EXPECTS(net_bps > 0.0);
+  AMOEBA_EXPECTS(container_core_cap > 0.0);
+  AMOEBA_EXPECTS(cpu_interference >= 0.0);
+  AMOEBA_EXPECTS(io_efficiency > 0.0 && io_efficiency <= 1.0);
+  AMOEBA_EXPECTS(net_efficiency > 0.0 && net_efficiency <= 1.0);
+  AMOEBA_EXPECTS(cold_start_mean_s >= 0.0);
+  AMOEBA_EXPECTS(cold_start_cv >= 0.0);
+  AMOEBA_EXPECTS(keep_alive_s > 0.0);
+  AMOEBA_EXPECTS(crash_after_completion_p >= 0.0 &&
+                 crash_after_completion_p <= 1.0);
+}
+
+ServerlessPlatform::ServerlessPlatform(sim::Engine& engine, PlatformConfig cfg,
+                                       sim::Rng rng)
+    : engine_(engine),
+      cfg_(cfg),
+      rng_(rng),
+      cpu_(engine, "node_cpu", cfg.cores, cfg.cpu_interference),
+      disk_(engine, "node_disk", cfg.disk_bps),
+      net_(engine, "node_net", cfg.net_bps),
+      pool_(engine, cfg.pool_memory_mb, cfg.keep_alive_s) {
+  cfg_.validate();
+}
+
+void ServerlessPlatform::register_function(
+    const workload::FunctionProfile& profile, int max_containers) {
+  profile.validate();
+  AMOEBA_EXPECTS(max_containers >= 0);
+  AMOEBA_EXPECTS_MSG(!functions_.contains(profile.name),
+                     "function already registered");
+  FunctionState st;
+  st.profile = profile;
+  st.max_containers = max_containers;
+  functions_.emplace(profile.name, std::move(st));
+}
+
+bool ServerlessPlatform::has_function(const std::string& name) const {
+  return functions_.contains(name);
+}
+
+const workload::FunctionProfile& ServerlessPlatform::profile(
+    const std::string& name) const {
+  return state_of(name).profile;
+}
+
+ServerlessPlatform::FunctionState& ServerlessPlatform::state_of(
+    const std::string& function) {
+  auto it = functions_.find(function);
+  AMOEBA_EXPECTS_MSG(it != functions_.end(), "unknown function: " + function);
+  return it->second;
+}
+
+const ServerlessPlatform::FunctionState& ServerlessPlatform::state_of(
+    const std::string& function) const {
+  auto it = functions_.find(function);
+  AMOEBA_EXPECTS_MSG(it != functions_.end(), "unknown function: " + function);
+  return it->second;
+}
+
+void ServerlessPlatform::submit(const std::string& function,
+                                QueryCompletionFn on_done) {
+  AMOEBA_EXPECTS(on_done != nullptr);
+  FunctionState& st = state_of(function);
+  st.stats.submitted += 1;
+  st.queue.push_back(Pending{next_query_id_++, engine_.now(), std::move(on_done)});
+  pump(function);
+}
+
+double ServerlessPlatform::sample_cold_start() {
+  if (cfg_.cold_start_mean_s <= 0.0) return 0.0;
+  return rng_.lognormal_mean_cv(cfg_.cold_start_mean_s, cfg_.cold_start_cv);
+}
+
+bool ServerlessPlatform::try_make_room(FunctionState& st) {
+  if (st.max_containers > 0 &&
+      pool_.counts(st.profile.name).total() >= st.max_containers) {
+    return false;
+  }
+  if (pool_.memory_available(st.profile.memory_mb)) return true;
+  // Reclaim idle capacity parked by other functions.
+  while (pool_.evict_lru_idle(st.profile.name)) {
+    if (pool_.memory_available(st.profile.memory_mb)) return true;
+  }
+  return false;
+}
+
+int ServerlessPlatform::prewarm(const std::string& function, int count) {
+  AMOEBA_EXPECTS(count >= 0);
+  FunctionState& st = state_of(function);
+  int started = 0;
+  while (pool_.counts(function).total() < count) {
+    if (!try_make_room(st)) break;
+    const auto cid = pool_.start(
+        function, st.profile.memory_mb, sample_cold_start(),
+        [this, function](ContainerId id) { on_container_ready(function, id); });
+    if (!cid.has_value()) break;
+    ++started;
+  }
+  return started;
+}
+
+void ServerlessPlatform::pump(const std::string& function) {
+  FunctionState& st = state_of(function);
+  while (!st.queue.empty()) {
+    if (auto cid = pool_.acquire_idle(function)) {
+      Pending p = std::move(st.queue.front());
+      st.queue.pop_front();
+      run_invocation(st, *cid, std::move(p));
+      continue;
+    }
+    // No warm container: cold-start one and BIND the head-of-line query to
+    // it (OpenWhisk semantics — the activation waits out the boot it
+    // caused). Remaining queries stay queued for whichever container frees
+    // or boots next.
+    if (!try_make_room(st)) break;
+    const auto cid = pool_.start(
+        function, st.profile.memory_mb, sample_cold_start(),
+        [this, function](ContainerId id) { on_container_ready(function, id); });
+    if (!cid.has_value()) break;
+    st.bound.emplace(*cid, std::move(st.queue.front()));
+    st.queue.pop_front();
+  }
+}
+
+void ServerlessPlatform::on_container_ready(const std::string& function,
+                                            ContainerId cid) {
+  FunctionState& st = state_of(function);
+  auto it = st.bound.find(cid);
+  if (it != st.bound.end()) {
+    Pending p = std::move(it->second);
+    st.bound.erase(it);
+    pool_.mark_busy(cid);
+    run_invocation(st, cid, std::move(p));
+    return;
+  }
+  pump(function);
+}
+
+void ServerlessPlatform::run_invocation(FunctionState& st, ContainerId cid,
+                                        Pending pending) {
+  const workload::FunctionProfile& p = st.profile;
+  auto rec = std::make_shared<QueryRecord>();
+  rec->id = pending.id;
+  rec->function = p.name;
+  rec->arrival = pending.arrival;
+
+  // Attribute the wait between arrival and service start: any overlap with
+  // the serving container's boot window counts as cold start (Fig. 4 /
+  // Fig. 16 bookkeeping), the rest is queueing.
+  const Container& cont = pool_.get(cid);
+  const double wait = engine_.now() - pending.arrival;
+  if (cont.invocations_served == 1) {  // first use (mark_busy already counted)
+    const double boot_overlap =
+        std::clamp(cont.ready_at - std::max(pending.arrival, cont.created_at),
+                   0.0, wait);
+    // "Cold" means the query actually waited on the boot; a query served by
+    // a prewarmed container that was ready before it arrived is warm.
+    rec->cold = boot_overlap > 0.0;
+    if (rec->cold) st.stats.cold_hits += 1;
+    rec->breakdown.cold_start_s = boot_overlap;
+    rec->breakdown.queue_s = wait - boot_overlap;
+  } else {
+    rec->breakdown.queue_s = wait;
+  }
+
+  const double cpu_work =
+      p.exec.cpu_seconds > 0.0
+          ? rng_.lognormal_mean_cv(p.exec.cpu_seconds, p.cpu_cv)
+          : 0.0;
+  rec->cpu_work_done = cpu_work;
+  // Containerized IO/network move more effective "device work" per byte
+  // (overlay-fs / virtualization tax).
+  const double io_scale = 1.0 / cfg_.io_efficiency;
+  const double net_scale = 1.0 / cfg_.net_efficiency;
+
+  const std::string fn = p.name;
+  auto finish = [this, fn, cid, rec, done = std::move(pending.on_done)]() mutable {
+    rec->completion = engine_.now();
+    finish_invocation(state_of(fn), cid, *rec, std::move(done));
+  };
+
+  // Build the phase chain back-to-front; each phase stamps its duration.
+  auto post_phase = [this, rec, bytes = p.result_bytes * net_scale,
+                     next = std::move(finish)]() mutable {
+    if (bytes <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    net_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.post_s = engine_.now() - t0;
+      next();
+    });
+  };
+
+  auto exec_net_phase = [this, rec, bytes = p.exec.net_bytes * net_scale,
+                         next = std::move(post_phase)]() mutable {
+    if (bytes <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    net_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.exec_s += engine_.now() - t0;
+      next();
+    });
+  };
+
+  auto exec_io_phase = [this, rec, bytes = p.exec.io_bytes * io_scale,
+                        next = std::move(exec_net_phase)]() mutable {
+    if (bytes <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    disk_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.exec_s += engine_.now() - t0;
+      next();
+    });
+  };
+
+  auto exec_cpu_phase = [this, rec, cpu_work, cap = cfg_.container_core_cap,
+                         next = std::move(exec_io_phase)]() mutable {
+    if (cpu_work <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    cpu_.open(cpu_work, cap, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.exec_s += engine_.now() - t0;
+      next();
+    });
+  };
+
+  auto code_load_phase = [this, rec, bytes = p.code_bytes * io_scale,
+                          next = std::move(exec_cpu_phase)]() mutable {
+    if (bytes <= 0.0) {
+      next();
+      return;
+    }
+    const double t0 = engine_.now();
+    disk_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
+      rec->breakdown.code_load_s = engine_.now() - t0;
+      next();
+    });
+  };
+
+  // Entry: fixed platform processing overhead (auth + scheduling).
+  rec->breakdown.overhead_s = p.platform_overhead_s;
+  if (p.platform_overhead_s > 0.0) {
+    engine_.schedule_in(p.platform_overhead_s, std::move(code_load_phase));
+  } else {
+    code_load_phase();
+  }
+}
+
+void ServerlessPlatform::finish_invocation(FunctionState& st, ContainerId cid,
+                                           QueryRecord record,
+                                           QueryCompletionFn on_done) {
+  st.stats.completed += 1;
+  st.stats.cpu_core_seconds += record.cpu_work_done;
+
+  const bool crash = cfg_.crash_after_completion_p > 0.0 &&
+                     rng_.uniform() < cfg_.crash_after_completion_p;
+  if (crash || (st.retired && st.queue.empty())) {
+    pool_.destroy(cid);
+  } else {
+    pool_.release_to_idle(cid);
+  }
+  const std::string fn = record.function;
+  on_done(record);
+  pump(fn);
+}
+
+void ServerlessPlatform::retire(const std::string& function) {
+  FunctionState& st = state_of(function);
+  st.retired = true;
+  pool_.destroy_idle(function);
+}
+
+void ServerlessPlatform::unretire(const std::string& function) {
+  state_of(function).retired = false;
+}
+
+bool ServerlessPlatform::retired(const std::string& function) const {
+  return state_of(function).retired;
+}
+
+std::size_t ServerlessPlatform::queue_length(
+    const std::string& function) const {
+  return state_of(function).queue.size();
+}
+
+const FunctionStats& ServerlessPlatform::stats(
+    const std::string& function) const {
+  return state_of(function).stats;
+}
+
+double ServerlessPlatform::cpu_core_seconds(
+    const std::string& function) const {
+  return state_of(function).stats.cpu_core_seconds;
+}
+
+double ServerlessPlatform::memory_mb_seconds(const std::string& function,
+                                             sim::Time now) {
+  return pool_.memory_mb_seconds(function, now);
+}
+
+}  // namespace amoeba::serverless

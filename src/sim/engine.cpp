@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace amoeba::sim {
+
+EventId Engine::schedule(Time at, std::function<void()> fn) {
+  AMOEBA_EXPECTS_MSG(at >= now_, "cannot schedule an event in the past");
+  AMOEBA_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{at, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  AMOEBA_ASSERT(live_ > 0);
+  --live_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(top.id);
+    if (it == handlers_.end()) continue;  // lazily-deleted (cancelled) slot
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    --live_;
+    AMOEBA_ASSERT(top.at >= now_);
+    now_ = top.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time t) {
+  AMOEBA_EXPECTS(t >= now_);
+  while (!heap_.empty()) {
+    // Peek past cancelled slots without executing.
+    const HeapEntry top = heap_.top();
+    if (!handlers_.contains(top.id)) {
+      heap_.pop();
+      continue;
+    }
+    if (top.at > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace amoeba::sim

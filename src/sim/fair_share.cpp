@@ -1,0 +1,175 @@
+#include "sim/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace amoeba::sim {
+
+namespace {
+// Work below this many units is considered drained (guards float error for
+// tiny work amounts).
+constexpr double kWorkEpsilon = 1e-12;
+// A stream whose projected remaining time is below this is complete. Work
+// units span wildly different scales (core-seconds vs bytes), so the
+// robust epsilon is in *time*: double rounding on a completion timestamp
+// can leave remaining work worth up to ~ns of service, and rescheduling it
+// would advance the clock by less than one ulp — an infinite event loop.
+constexpr double kTimeEpsilon = 1e-9;
+
+}  // namespace
+
+FairShareResource::FairShareResource(Engine& engine, std::string name,
+                                     double capacity, double interference)
+    : engine_(engine),
+      name_(std::move(name)),
+      capacity_(capacity),
+      interference_(interference) {
+  AMOEBA_EXPECTS_MSG(capacity > 0.0, "resource capacity must be positive");
+  AMOEBA_EXPECTS_MSG(interference >= 0.0, "interference must be >= 0");
+  last_update_ = engine_.now();
+  busy_mark_ = engine_.now();
+}
+
+FairShareResource::~FairShareResource() {
+  if (completion_event_ != kNoEvent) engine_.cancel(completion_event_);
+}
+
+StreamId FairShareResource::open(double work, double cap,
+                                 CompletionFn on_complete) {
+  AMOEBA_EXPECTS(work >= 0.0);
+  AMOEBA_EXPECTS(on_complete != nullptr);
+  bank_progress();
+  const StreamId id = next_id_++;
+  Stream s;
+  s.remaining = work;
+  s.cap = (cap <= 0.0) ? capacity_ : std::min(cap, capacity_);
+  s.on_complete = std::move(on_complete);
+  streams_.emplace(id, std::move(s));
+  reallocate();
+  return id;
+}
+
+double FairShareResource::close(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return 0.0;
+  bank_progress();
+  const double remaining = it->second.remaining;
+  streams_.erase(it);
+  reallocate();
+  return remaining;
+}
+
+double FairShareResource::pressure() const noexcept {
+  double demand = 0.0;
+  for (const auto& [id, s] : streams_) demand += s.cap;
+  return demand / capacity_;
+}
+
+double FairShareResource::rate_of(StreamId id) const noexcept {
+  auto it = streams_.find(id);
+  return it == streams_.end() ? 0.0 : it->second.rate;
+}
+
+double FairShareResource::utilization() const noexcept {
+  return allocated_rate_ / capacity_;
+}
+
+double FairShareResource::busy_capacity_seconds(Time now) const noexcept {
+  // Lazily extend the integral to `now` at the current allocation rate.
+  if (now > busy_mark_) {
+    busy_integral_ += allocated_rate_ * (now - busy_mark_);
+    busy_mark_ = now;
+  }
+  return busy_integral_;
+}
+
+void FairShareResource::bank_progress() {
+  const Time now = engine_.now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    for (auto& [id, s] : streams_) {
+      s.remaining = std::max(0.0, s.remaining - s.rate * dt);
+    }
+    busy_capacity_seconds(now);  // extend utilization integral
+  }
+  last_update_ = now;
+}
+
+void FairShareResource::reallocate() {
+  // Progressive filling: process streams in ascending cap order; each takes
+  // min(cap, remaining_capacity / remaining_streams). This is the standard
+  // max-min fair ("water-filling") allocation.
+  busy_capacity_seconds(engine_.now());  // close integral at old rate
+  std::vector<std::pair<double, StreamId>> by_cap;
+  by_cap.reserve(streams_.size());
+  for (const auto& [id, s] : streams_) by_cap.emplace_back(s.cap, id);
+  std::sort(by_cap.begin(), by_cap.end());
+
+  double remaining_capacity = capacity_;
+  std::size_t remaining_streams = by_cap.size();
+  allocated_rate_ = 0.0;
+  for (const auto& [cap, id] : by_cap) {
+    const double equal_share = remaining_capacity / static_cast<double>(remaining_streams);
+    const double rate = std::min(cap, equal_share);
+    streams_.at(id).rate = rate;
+    allocated_rate_ += rate;
+    remaining_capacity -= rate;
+    --remaining_streams;
+  }
+
+  // Utilization-dependent interference penalty (shared caches / memory
+  // bandwidth): everyone slows together as the resource fills up.
+  if (interference_ > 0.0 && allocated_rate_ > 0.0) {
+    const double utilization = allocated_rate_ / capacity_;
+    const double penalty = 1.0 / (1.0 + interference_ * utilization);
+    for (auto& [id, s] : streams_) s.rate *= penalty;
+    allocated_rate_ *= penalty;
+  }
+
+  // Reschedule the single completion event at the earliest finish.
+  if (completion_event_ != kNoEvent) {
+    engine_.cancel(completion_event_);
+    completion_event_ = kNoEvent;
+  }
+  Time earliest = std::numeric_limits<Time>::infinity();
+  for (const auto& [id, s] : streams_) {
+    if (s.remaining <= kWorkEpsilon ||
+        (s.rate > 0.0 && s.remaining <= s.rate * kTimeEpsilon)) {
+      earliest = engine_.now();
+      break;
+    }
+    if (s.rate > 0.0) {
+      earliest = std::min(earliest, engine_.now() + s.remaining / s.rate);
+    }
+  }
+  if (std::isfinite(earliest)) {
+    completion_event_ =
+        engine_.schedule(earliest, [this] { on_completion_event(); });
+  }
+}
+
+void FairShareResource::on_completion_event() {
+  completion_event_ = kNoEvent;
+  bank_progress();
+  // Collect every stream that drained (ties complete together, in id order).
+  std::vector<std::pair<StreamId, CompletionFn>> done;
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    const Stream& s = it->second;
+    if (s.remaining <= kWorkEpsilon ||
+        (s.rate > 0.0 && s.remaining <= s.rate * kTimeEpsilon)) {
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reallocate();
+  // Fire callbacks after internal state is consistent; callbacks may open
+  // new streams re-entrantly.
+  for (auto& [id, fn] : done) fn();
+}
+
+}  // namespace amoeba::sim

@@ -1,0 +1,44 @@
+// A piecewise-constant gauge with a lazily-advanced time integral.
+// Used for per-service resource accounting (core-seconds, MB-seconds).
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace amoeba::stats {
+
+class IntegratedGauge {
+ public:
+  IntegratedGauge() = default;
+  explicit IntegratedGauge(double t0, double initial = 0.0)
+      : last_t_(t0), value_(initial) {}
+
+  /// Set the gauge to `value` at time `t` (non-decreasing).
+  void set(double t, double value) {
+    advance(t);
+    AMOEBA_EXPECTS(value >= 0.0);
+    value_ = value;
+  }
+
+  void add(double t, double delta) { set(t, value_ + delta); }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// Integral of the gauge from construction through `t`.
+  double integral(double t) {
+    advance(t);
+    return integral_;
+  }
+
+ private:
+  void advance(double t) {
+    AMOEBA_EXPECTS_MSG(t >= last_t_, "gauge time must be non-decreasing");
+    integral_ += value_ * (t - last_t_);
+    last_t_ = t;
+  }
+
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+}  // namespace amoeba::stats

@@ -1,0 +1,75 @@
+#include "stats/online_moments.hpp"
+
+#include <cmath>
+
+namespace amoeba::stats {
+
+void OnlineMoments::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineMoments::mean() const {
+  AMOEBA_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double OnlineMoments::variance() const {
+  AMOEBA_EXPECTS(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+void OnlineMoments::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+OnlineCovariance::OnlineCovariance(std::size_t dims)
+    : means_(dims, 0.0), comoments_(dims * dims, 0.0) {
+  AMOEBA_EXPECTS(dims > 0);
+}
+
+void OnlineCovariance::add(const std::vector<double>& x) {
+  AMOEBA_EXPECTS(x.size() == means_.size());
+  ++n_;
+  const auto d = means_.size();
+  std::vector<double> delta_before(d);
+  for (std::size_t i = 0; i < d; ++i) delta_before[i] = x[i] - means_[i];
+  for (std::size_t i = 0; i < d; ++i) {
+    means_[i] += delta_before[i] / static_cast<double>(n_);
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    const double after_i = x[i] - means_[i];
+    for (std::size_t j = 0; j < d; ++j) {
+      comoments_[i * d + j] += delta_before[j] * after_i;
+    }
+  }
+}
+
+double OnlineCovariance::covariance(std::size_t i, std::size_t j) const {
+  AMOEBA_EXPECTS(n_ >= 2);
+  AMOEBA_EXPECTS(i < dims() && j < dims());
+  return comoments_[i * dims() + j] / static_cast<double>(n_ - 1);
+}
+
+std::vector<double> OnlineCovariance::matrix() const {
+  AMOEBA_EXPECTS(n_ >= 2);
+  std::vector<double> out(comoments_.size());
+  for (std::size_t k = 0; k < comoments_.size(); ++k) {
+    out[k] = comoments_[k] / static_cast<double>(n_ - 1);
+  }
+  return out;
+}
+
+void OnlineCovariance::reset() {
+  n_ = 0;
+  std::fill(means_.begin(), means_.end(), 0.0);
+  std::fill(comoments_.begin(), comoments_.end(), 0.0);
+}
+
+}  // namespace amoeba::stats

@@ -1,0 +1,55 @@
+// Welford online mean/variance, plus covariance accumulation for PCA input.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::stats {
+
+/// Numerically-stable streaming mean and variance (Welford's algorithm).
+class OnlineMoments {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; requires count() >= 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Streaming covariance matrix over d-dimensional observations.
+class OnlineCovariance {
+ public:
+  explicit OnlineCovariance(std::size_t dims);
+
+  void add(const std::vector<double>& x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dims() const noexcept { return means_.size(); }
+  [[nodiscard]] const std::vector<double>& means() const noexcept {
+    return means_;
+  }
+  /// Unbiased covariance between dimensions i and j; requires count() >= 2.
+  [[nodiscard]] double covariance(std::size_t i, std::size_t j) const;
+  /// Full covariance matrix, row-major d*d.
+  [[nodiscard]] std::vector<double> matrix() const;
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> means_;
+  std::vector<double> comoments_;  // row-major d*d sums of co-deviations
+};
+
+}  // namespace amoeba::stats

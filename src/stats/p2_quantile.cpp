@@ -1,0 +1,87 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amoeba::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  AMOEBA_EXPECTS(q > 0.0 && q < 1.0);
+  reset();
+}
+
+void P2Quantile::reset() {
+  count_ = 0;
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+  heights_.fill(0.0);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+
+  // Locate the cell containing x, extending extremes if needed.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust interior markers with piecewise-parabolic (P²) interpolation.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      // Parabolic prediction.
+      const double np = positions_[i] + sign;
+      const double hp =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + sign) * (heights_[i + 1] - heights_[i]) / above +
+               (above - sign) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < hp && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        // Fall back to linear interpolation toward the chosen neighbour.
+        const std::size_t j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  AMOEBA_EXPECTS(count_ > 0);
+  if (count_ < 5) {
+    // Exact small-sample quantile (nearest-rank on the sorted prefix).
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(count_));
+    const double h = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = static_cast<std::size_t>(std::ceil(h));
+    if (lo == hi) return tmp[lo];
+    return tmp[lo] + (h - static_cast<double>(lo)) * (tmp[hi] - tmp[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace amoeba::stats

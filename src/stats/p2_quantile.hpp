@@ -1,0 +1,38 @@
+// Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+// CACM 1985). O(1) memory per tracked quantile; used by the contention
+// monitor, which must track tail latency over unbounded query streams.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace amoeba::stats {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1): the quantile to estimate (e.g. 0.95).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate. Requires at least one sample; exact until the fifth
+  /// sample, P²-approximate afterwards.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double quantile() const noexcept { return q_; }
+
+  void reset();
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace amoeba::stats

@@ -1,0 +1,92 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace amoeba::stats {
+
+double percentile_inplace(std::vector<double>& samples, double q) {
+  AMOEBA_EXPECTS(!samples.empty());
+  AMOEBA_EXPECTS(q >= 0.0 && q <= 1.0);
+  const double h = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                   samples.end());
+  const double vlo = samples[lo];
+  if (hi == lo) return vlo;
+  const double vhi =
+      *std::min_element(samples.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                        samples.end());
+  return vlo + (h - static_cast<double>(lo)) * (vhi - vlo);
+}
+
+double percentile(std::vector<double> samples, double q) {
+  return percentile_inplace(samples, q);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!dirty_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  dirty_ = false;
+}
+
+double SampleSet::min() const {
+  AMOEBA_EXPECTS(!empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  AMOEBA_EXPECTS(!empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleSet::mean() const {
+  AMOEBA_EXPECTS(!empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double q) const {
+  AMOEBA_EXPECTS(!empty());
+  AMOEBA_EXPECTS(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const double h = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  if (hi == lo) return sorted_[lo];
+  return sorted_[lo] + (h - static_cast<double>(lo)) * (sorted_[hi] - sorted_[lo]);
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double SampleSet::fraction_above(double threshold) const {
+  if (empty()) return 0.0;
+  return 1.0 - cdf_at(threshold);
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_curve(
+    std::size_t points) const {
+  AMOEBA_EXPECTS(points >= 2);
+  AMOEBA_EXPECTS(!empty());
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.emplace_back(quantile(q), q);
+  }
+  return curve;
+}
+
+}  // namespace amoeba::stats

@@ -1,0 +1,60 @@
+// Exact percentile / CDF utilities over collected samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::stats {
+
+/// Exact q-quantile (0 <= q <= 1) of `samples` using linear interpolation
+/// between closest ranks (the "R-7" rule used by numpy's default).
+/// The input is copied; use `percentile_inplace` to avoid the copy.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// As `percentile` but partially sorts `samples` in place.
+[[nodiscard]] double percentile_inplace(std::vector<double>& samples, double q);
+
+/// Accumulates raw samples and answers percentile / CDF queries.
+/// Memory is O(n); use `stats::P2Quantile` where a stream is too large.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); dirty_ = true; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; requires non-empty set.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Empirical CDF evaluated at `x`: fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// Fraction of samples strictly greater than `threshold` (e.g. the
+  /// QoS-violation ratio when `threshold` is the latency target).
+  [[nodiscard]] double fraction_above(double threshold) const;
+
+  /// Sampled CDF curve: `points` equally-spaced quantiles from 0 to 1,
+  /// returned as (value, cumulative probability) pairs. Requires points>=2.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_curve(
+      std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept {
+    return samples_;
+  }
+
+  void clear() { samples_.clear(); dirty_ = true; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace amoeba::stats

@@ -1,0 +1,50 @@
+#include "stats/rate_estimator.hpp"
+
+#include <cmath>
+
+namespace amoeba::stats {
+
+RateEstimator::RateEstimator(double window_seconds) : window_(window_seconds) {
+  AMOEBA_EXPECTS(window_seconds > 0.0);
+}
+
+void RateEstimator::record(double t) {
+  AMOEBA_EXPECTS_MSG(arrivals_.empty() || t >= arrivals_.back(),
+                     "arrival timestamps must be non-decreasing");
+  arrivals_.push_back(t);
+}
+
+void RateEstimator::evict(double now) const {
+  while (!arrivals_.empty() && arrivals_.front() <= now - window_) {
+    arrivals_.pop_front();
+  }
+}
+
+double RateEstimator::rate(double now) const {
+  evict(now);
+  return static_cast<double>(arrivals_.size()) / window_;
+}
+
+std::size_t RateEstimator::count_in_window(double now) const {
+  evict(now);
+  return arrivals_.size();
+}
+
+EwmaRate::EwmaRate(double half_life) : half_life_(half_life) {
+  AMOEBA_EXPECTS(half_life > 0.0);
+}
+
+void EwmaRate::observe(double t, double value) {
+  if (!primed_) {
+    value_ = value;
+    last_t_ = t;
+    primed_ = true;
+    return;
+  }
+  AMOEBA_EXPECTS(t >= last_t_);
+  const double alpha = 1.0 - std::exp2(-(t - last_t_) / half_life_);
+  value_ += alpha * (value - value_);
+  last_t_ = t;
+}
+
+}  // namespace amoeba::stats

@@ -1,0 +1,53 @@
+// Sliding-window arrival-rate estimation.
+//
+// The deployment controller needs the current load V_u (queries/second) of
+// each microservice. `RateEstimator` counts arrivals in a sliding window;
+// `EwmaRate` provides a smoother exponentially-weighted alternative used
+// for burst detection.
+#pragma once
+
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace amoeba::stats {
+
+class RateEstimator {
+ public:
+  explicit RateEstimator(double window_seconds);
+
+  /// Record an arrival at time `t` (non-decreasing).
+  void record(double t);
+
+  /// Arrivals per second over the trailing window ending at `now`.
+  [[nodiscard]] double rate(double now) const;
+
+  /// Number of arrivals currently inside the window ending at `now`.
+  [[nodiscard]] std::size_t count_in_window(double now) const;
+
+  [[nodiscard]] double window() const noexcept { return window_; }
+
+ private:
+  void evict(double now) const;
+  double window_;
+  mutable std::deque<double> arrivals_;
+};
+
+/// Exponentially-weighted moving average of an irregularly-sampled rate.
+class EwmaRate {
+ public:
+  /// `half_life` — seconds for an observation's weight to halve.
+  explicit EwmaRate(double half_life);
+
+  void observe(double t, double value);
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+ private:
+  double half_life_;
+  double value_ = 0.0;
+  double last_t_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace amoeba::stats

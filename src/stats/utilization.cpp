@@ -1,0 +1,75 @@
+#include "stats/utilization.hpp"
+
+#include <algorithm>
+
+namespace amoeba::stats {
+
+UtilizationTracker::UtilizationTracker(double capacity, double window)
+    : capacity_(capacity), window_(window) {
+  AMOEBA_EXPECTS(capacity > 0.0);
+  AMOEBA_EXPECTS(window > 0.0);
+}
+
+void UtilizationTracker::set(double t, double amount) {
+  AMOEBA_EXPECTS(!finished_);
+  AMOEBA_EXPECTS(amount >= 0.0);
+  if (!started_) {
+    started_ = true;
+    t_start_ = cur_t_ = window_start_ = t;
+    cur_amount_ = amount;
+    return;
+  }
+  AMOEBA_EXPECTS_MSG(t >= cur_t_, "timestamps must be non-decreasing");
+  advance_to(t);
+  cur_amount_ = amount;
+}
+
+void UtilizationTracker::advance_to(double t) {
+  // Split the elapsed interval across window boundaries.
+  while (t - window_start_ >= window_) {
+    const double boundary = window_start_ + window_;
+    const double dt = boundary - cur_t_;
+    window_integral_ += cur_amount_ * dt;
+    total_integral_ += cur_amount_ * dt;
+    window_avgs_.push_back(window_integral_ / (window_ * capacity_));
+    window_integral_ = 0.0;
+    window_start_ = boundary;
+    cur_t_ = boundary;
+  }
+  const double dt = t - cur_t_;
+  window_integral_ += cur_amount_ * dt;
+  total_integral_ += cur_amount_ * dt;
+  cur_t_ = t;
+}
+
+void UtilizationTracker::finish(double t_end) {
+  AMOEBA_EXPECTS(started_);
+  AMOEBA_EXPECTS(!finished_);
+  AMOEBA_EXPECTS(t_end >= cur_t_);
+  advance_to(t_end);
+  // Flush a partial trailing window if it covers a meaningful fraction.
+  const double partial = t_end - window_start_;
+  if (partial > window_ * 0.5) {
+    window_avgs_.push_back(window_integral_ / (partial * capacity_));
+  }
+  finished_ = true;
+}
+
+double UtilizationTracker::average() const {
+  AMOEBA_EXPECTS(finished_);
+  const double span = cur_t_ - t_start_;
+  AMOEBA_EXPECTS(span > 0.0);
+  return total_integral_ / (span * capacity_);
+}
+
+double UtilizationTracker::window_min() const {
+  AMOEBA_EXPECTS(!window_avgs_.empty());
+  return *std::min_element(window_avgs_.begin(), window_avgs_.end());
+}
+
+double UtilizationTracker::window_max() const {
+  AMOEBA_EXPECTS(!window_avgs_.empty());
+  return *std::max_element(window_avgs_.begin(), window_avgs_.end());
+}
+
+}  // namespace amoeba::stats

@@ -1,0 +1,59 @@
+// Time-weighted utilization tracking.
+//
+// `UtilizationTracker` integrates a piecewise-constant "amount in use"
+// signal (busy cores, held memory) and reports windowed min/avg/max
+// utilization — exactly the statistic behind the paper's Fig. 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::stats {
+
+class UtilizationTracker {
+ public:
+  /// `capacity` normalizes utilization to [0, 1]; `window` is the bucket
+  /// length (seconds) for windowed min/avg/max statistics.
+  UtilizationTracker(double capacity, double window);
+
+  /// Record that the in-use amount changed to `amount` at time `t`
+  /// (timestamps non-decreasing).
+  void set(double t, double amount);
+
+  /// Close the signal at time `t_end` (extends the last value).
+  void finish(double t_end);
+
+  /// Overall time-weighted average utilization in [first set, finish].
+  [[nodiscard]] double average() const;
+
+  /// Per-window average utilizations (window length given at construction).
+  [[nodiscard]] const std::vector<double>& windows() const noexcept {
+    return window_avgs_;
+  }
+
+  /// Min / max over *window averages* (as the paper's Fig. 2 reports the
+  /// lowest/highest utilization over the day, not instantaneous spikes).
+  [[nodiscard]] double window_min() const;
+  [[nodiscard]] double window_max() const;
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+
+ private:
+  void advance_to(double t);
+
+  double capacity_;
+  double window_;
+  bool started_ = false;
+  bool finished_ = false;
+  double t_start_ = 0.0;
+  double cur_t_ = 0.0;
+  double cur_amount_ = 0.0;
+  double total_integral_ = 0.0;
+  double window_integral_ = 0.0;
+  double window_start_ = 0.0;
+  std::vector<double> window_avgs_;
+};
+
+}  // namespace amoeba::stats

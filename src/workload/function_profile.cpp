@@ -1,0 +1,69 @@
+#include "workload/function_profile.hpp"
+
+namespace amoeba::workload {
+
+void FunctionProfile::validate() const {
+  AMOEBA_EXPECTS_MSG(!name.empty(), "profile must be named");
+  AMOEBA_EXPECTS(exec.valid());
+  AMOEBA_EXPECTS(code_bytes >= 0.0);
+  AMOEBA_EXPECTS(result_bytes >= 0.0);
+  AMOEBA_EXPECTS(platform_overhead_s >= 0.0);
+  AMOEBA_EXPECTS(rpc_overhead_s >= 0.0);
+  AMOEBA_EXPECTS(memory_mb > 0.0);
+  AMOEBA_EXPECTS(cpu_cv >= 0.0);
+  AMOEBA_EXPECTS(qos_target_s > 0.0);
+  AMOEBA_EXPECTS(peak_load_qps > 0.0);
+}
+
+double FunctionProfile::ideal_serverless_latency(double disk_bps,
+                                                 double net_bps) const {
+  AMOEBA_EXPECTS(disk_bps > 0.0 && net_bps > 0.0);
+  return platform_overhead_s + code_bytes / disk_bps + exec.cpu_seconds +
+         exec.io_bytes / disk_bps + exec.net_bytes / net_bps +
+         result_bytes / net_bps;
+}
+
+double FunctionProfile::ideal_iaas_latency(double disk_bps,
+                                           double net_bps) const {
+  AMOEBA_EXPECTS(disk_bps > 0.0 && net_bps > 0.0);
+  return rpc_overhead_s + exec.cpu_seconds + exec.io_bytes / disk_bps +
+         exec.net_bytes / net_bps;
+}
+
+const char* to_string(Sensitivity s) noexcept {
+  switch (s) {
+    case Sensitivity::kNone: return "-";
+    case Sensitivity::kLow: return "low";
+    case Sensitivity::kMedium: return "medium";
+    case Sensitivity::kHigh: return "high";
+  }
+  return "?";
+}
+
+namespace {
+Sensitivity bucket(double fraction) noexcept {
+  if (fraction >= 0.45) return Sensitivity::kHigh;
+  if (fraction >= 0.20) return Sensitivity::kMedium;
+  if (fraction >= 0.05) return Sensitivity::kLow;
+  return Sensitivity::kNone;
+}
+}  // namespace
+
+SensitivityVector classify_sensitivity(const FunctionProfile& p,
+                                       double disk_bps, double net_bps) {
+  const double cpu = p.exec.cpu_seconds;
+  const double io = (p.exec.io_bytes + p.code_bytes) / disk_bps;
+  const double net = (p.exec.net_bytes + p.result_bytes) / net_bps;
+  const double total = cpu + io + net;
+  SensitivityVector v;
+  if (total <= 0.0) return v;
+  v.cpu = bucket(cpu / total);
+  // Memory sensitivity tracks CPU for these in-memory workloads (the paper's
+  // Table III couples CPU and memory sensitivity for every benchmark).
+  v.memory = v.cpu;
+  v.disk_io = bucket(io / total);
+  v.network = bucket(net / total);
+  return v;
+}
+
+}  // namespace amoeba::workload

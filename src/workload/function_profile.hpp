@@ -1,0 +1,80 @@
+// Microservice workload description.
+//
+// A `FunctionProfile` captures everything the platforms need to execute one
+// query of a microservice: its per-query resource demands (the ground
+// truth the simulator charges against shared resources) and its service
+// contract (QoS target, provisioned peak load). The Amoeba controller
+// never reads the demand fields — it works purely from observed latencies,
+// as on a real cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace amoeba::workload {
+
+/// Resource demands of one query's *execution* phase.
+struct ResourceDemand {
+  double cpu_seconds = 0.0;  ///< core-seconds of compute
+  double io_bytes = 0.0;     ///< bytes moved over the node's disk
+  double net_bytes = 0.0;    ///< bytes moved over the node's NIC
+
+  [[nodiscard]] bool valid() const noexcept {
+    return cpu_seconds >= 0.0 && io_bytes >= 0.0 && net_bytes >= 0.0;
+  }
+};
+
+struct FunctionProfile {
+  std::string name;
+
+  ResourceDemand exec;  ///< demands of the function body itself
+
+  // Serverless-only per-query overheads (paper Fig. 4: "processing, code
+  // loading, and result posting"). IaaS instances keep code resident and
+  // answer over an established connection, so they only pay `rpc_overhead_s`.
+  double code_bytes = 0.0;          ///< code+data fetched per invocation (disk IO)
+  double result_bytes = 0.0;        ///< result posted per invocation (network)
+  double platform_overhead_s = 0.0; ///< auth + scheduling fixed delay
+  double rpc_overhead_s = 0.0;      ///< IaaS-side fixed request overhead
+
+  double memory_mb = 256.0;  ///< per-container / per-worker footprint
+  double cpu_cv = 0.1;       ///< lognormal coefficient of variation of cpu work
+
+  double qos_target_s = 1.0;   ///< 95%-ile latency target
+  double peak_load_qps = 10.0; ///< provisioned peak arrival rate
+
+  /// Validate invariants; throws ContractError on nonsense profiles.
+  void validate() const;
+
+  /// Ideal solo execution time on an idle node (no queuing, warm
+  /// container): platform overhead + code load + cpu + io + net + posting,
+  /// at the given uncontended rates. Used by tests and the provisioner.
+  [[nodiscard]] double ideal_serverless_latency(double disk_bps,
+                                                double net_bps) const;
+
+  /// Ideal solo IaaS latency (rpc + cpu + io + net at uncontended rates).
+  [[nodiscard]] double ideal_iaas_latency(double disk_bps,
+                                          double net_bps) const;
+};
+
+/// Qualitative sensitivity classes, mirroring the paper's Table III.
+enum class Sensitivity : std::uint8_t { kNone, kLow, kMedium, kHigh };
+
+[[nodiscard]] const char* to_string(Sensitivity s) noexcept;
+
+struct SensitivityVector {
+  Sensitivity cpu = Sensitivity::kNone;
+  Sensitivity memory = Sensitivity::kNone;
+  Sensitivity disk_io = Sensitivity::kNone;
+  Sensitivity network = Sensitivity::kNone;
+};
+
+/// Classify a profile's sensitivities from its demand mix (the fraction of
+/// uncontended latency each resource accounts for).
+[[nodiscard]] SensitivityVector classify_sensitivity(const FunctionProfile& p,
+                                                     double disk_bps,
+                                                     double net_bps);
+
+}  // namespace amoeba::workload

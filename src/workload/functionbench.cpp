@@ -1,0 +1,133 @@
+#include "workload/functionbench.hpp"
+
+namespace amoeba::workload {
+
+namespace {
+// Common serverless-path overheads (paper Fig. 4: processing + code load +
+// result post amount to 10–45% of end-to-end latency).
+constexpr double kPlatformOverheadS = 0.018;  // auth + scheduling
+constexpr double kRpcOverheadS = 0.002;       // IaaS in-VM request handling
+constexpr double kMiB = 1024.0 * 1024.0;
+}  // namespace
+
+FunctionProfile make_float() {
+  FunctionProfile p;
+  p.name = "float";
+  p.exec = {.cpu_seconds = 0.080, .io_bytes = 0.0, .net_bytes = 0.0};
+  p.code_bytes = 2.0 * kMiB;
+  p.result_bytes = 10e3;
+  p.platform_overhead_s = kPlatformOverheadS;
+  p.rpc_overhead_s = kRpcOverheadS;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.08;
+  p.qos_target_s = 0.15;   // tight target (paper: float has tight QoS)
+  p.peak_load_qps = 120.0;
+  p.validate();
+  return p;
+}
+
+FunctionProfile make_matmul() {
+  FunctionProfile p;
+  p.name = "matmul";
+  p.exec = {.cpu_seconds = 0.250, .io_bytes = 0.0, .net_bytes = 0.0};
+  p.code_bytes = 16.0 * kMiB;  // code + input matrices
+  p.result_bytes = 50e3;
+  p.platform_overhead_s = kPlatformOverheadS;
+  p.rpc_overhead_s = kRpcOverheadS;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.10;
+  p.qos_target_s = 1.0;
+  p.peak_load_qps = 30.0;
+  p.validate();
+  return p;
+}
+
+FunctionProfile make_linpack() {
+  FunctionProfile p;
+  p.name = "linpack";
+  p.exec = {.cpu_seconds = 0.400, .io_bytes = 0.0, .net_bytes = 0.0};
+  p.code_bytes = 16.0 * kMiB;  // code + input system
+  p.result_bytes = 20e3;
+  p.platform_overhead_s = kPlatformOverheadS;
+  p.rpc_overhead_s = kRpcOverheadS;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.10;
+  p.qos_target_s = 1.5;
+  p.peak_load_qps = 20.0;
+  p.validate();
+  return p;
+}
+
+FunctionProfile make_dd() {
+  FunctionProfile p;
+  p.name = "dd";
+  p.exec = {.cpu_seconds = 0.035, .io_bytes = 100e6, .net_bytes = 0.0};
+  p.code_bytes = 1.0 * kMiB;
+  p.result_bytes = 10e3;
+  p.platform_overhead_s = kPlatformOverheadS;
+  p.rpc_overhead_s = kRpcOverheadS;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.15;
+  p.qos_target_s = 0.5;
+  p.peak_load_qps = 15.0;  // peak disk demand = 1.5 GB/s (75% of NVMe)
+  p.validate();
+  return p;
+}
+
+FunctionProfile make_cloud_stor() {
+  FunctionProfile p;
+  p.name = "cloud_stor";
+  p.exec = {.cpu_seconds = 0.003, .io_bytes = 12e6, .net_bytes = 30e6};
+  p.code_bytes = 0.5 * kMiB;
+  p.result_bytes = 50e3;
+  p.platform_overhead_s = kPlatformOverheadS;
+  p.rpc_overhead_s = kRpcOverheadS;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.20;
+  p.qos_target_s = 0.12;   // tight; network is the bottleneck (paper §II-B)
+  p.peak_load_qps = 80.0;  // peak NIC demand = 2.4 GB/s (77% of 25 GbE)
+  p.validate();
+  return p;
+}
+
+std::vector<FunctionProfile> functionbench_suite() {
+  return {make_float(), make_matmul(), make_linpack(), make_dd(),
+          make_cloud_stor()};
+}
+
+FunctionProfile as_background(FunctionProfile p, double fraction) {
+  AMOEBA_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  p.name += "_bg";
+  p.peak_load_qps *= fraction;
+  return p;
+}
+
+FunctionProfile make_stressor(StressKind kind) {
+  FunctionProfile p;
+  p.platform_overhead_s = kPlatformOverheadS;
+  p.rpc_overhead_s = kRpcOverheadS;
+  p.memory_mb = 128.0;
+  p.cpu_cv = 0.0;  // deterministic: the profiler wants clean pressure steps
+  p.code_bytes = 0.5 * kMiB;
+  p.result_bytes = 1e3;
+  p.qos_target_s = 10.0;   // stressors have no QoS of their own
+  p.peak_load_qps = 200.0;
+  switch (kind) {
+    case StressKind::kCpu:
+      p.name = "stress_cpu";
+      p.exec = {.cpu_seconds = 0.100, .io_bytes = 0.0, .net_bytes = 0.0};
+      break;
+    case StressKind::kDiskIo:
+      p.name = "stress_io";
+      p.exec = {.cpu_seconds = 0.002, .io_bytes = 50e6, .net_bytes = 0.0};
+      break;
+    case StressKind::kNetwork:
+      p.name = "stress_net";
+      p.exec = {.cpu_seconds = 0.002, .io_bytes = 0.0, .net_bytes = 40e6};
+      break;
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace amoeba::workload

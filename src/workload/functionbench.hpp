@@ -1,0 +1,47 @@
+// FunctionBench-style benchmark suite (Kim & Lee, CLOUD'19), as used in the
+// paper's evaluation (Table III): float, matmul, linpack, dd, cloud_stor.
+//
+// The paper's testbed is unavailable; these presets are synthetic demand
+// vectors chosen so that (a) each benchmark lands in the sensitivity class
+// the paper's Table III reports, and (b) peak-load resource demands create
+// genuine contention on the simulated node (disk ~75% busy at dd's peak,
+// NIC ~77% at cloud_stor's peak). See DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include <vector>
+
+#include "workload/function_profile.hpp"
+
+namespace amoeba::workload {
+
+/// Uncontended device rates of the simulated node (Table II: NVMe SSD,
+/// 25 Gb/s NIC). Shared by presets, tests and the provisioner.
+struct NodeRates {
+  double disk_bps = 2.0e9;    ///< NVMe sequential bandwidth
+  double net_bps = 3.125e9;   ///< 25 Gb/s
+};
+
+[[nodiscard]] FunctionProfile make_float();
+[[nodiscard]] FunctionProfile make_matmul();
+[[nodiscard]] FunctionProfile make_linpack();
+[[nodiscard]] FunctionProfile make_dd();
+[[nodiscard]] FunctionProfile make_cloud_stor();
+
+/// All five benchmarks in the paper's Table III order.
+[[nodiscard]] std::vector<FunctionProfile> functionbench_suite();
+
+/// A copy of `p` scaled to `fraction` of its peak load — used for the
+/// low-peak background services in §VII-A (float, dd, cloud_stor run "with
+/// a lower peak load as the background service").
+[[nodiscard]] FunctionProfile as_background(FunctionProfile p,
+                                            double fraction);
+
+/// A synthetic single-resource stressor used by the profiling harness to
+/// put an adjustable, known pressure on one resource. `kind` selects which
+/// resource the stressor loads.
+enum class StressKind { kCpu, kDiskIo, kNetwork };
+
+[[nodiscard]] FunctionProfile make_stressor(StressKind kind);
+
+}  // namespace amoeba::workload

@@ -1,0 +1,91 @@
+#include "workload/load_generator.hpp"
+
+namespace amoeba::workload {
+
+PoissonLoadGenerator::PoissonLoadGenerator(sim::Engine& engine, sim::Rng rng,
+                                           RateFn rate, double max_rate,
+                                           ArrivalFn on_arrival)
+    : engine_(engine),
+      rng_(rng),
+      rate_(std::move(rate)),
+      max_rate_(max_rate),
+      on_arrival_(std::move(on_arrival)) {
+  AMOEBA_EXPECTS(max_rate > 0.0);
+  AMOEBA_EXPECTS(rate_ != nullptr);
+  AMOEBA_EXPECTS(on_arrival_ != nullptr);
+}
+
+PoissonLoadGenerator::~PoissonLoadGenerator() { stop(); }
+
+void PoissonLoadGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void PoissonLoadGenerator::stop() {
+  running_ = false;
+  if (pending_ != sim::kNoEvent) {
+    engine_.cancel(pending_);
+    pending_ = sim::kNoEvent;
+  }
+}
+
+void PoissonLoadGenerator::schedule_next() {
+  // Lewis-Shedler thinning: candidate arrivals at rate max_rate_, each
+  // accepted with probability rate(t)/max_rate_.
+  const double gap = rng_.exponential(max_rate_);
+  pending_ = engine_.schedule_in(gap, [this] {
+    pending_ = sim::kNoEvent;
+    if (!running_) return;
+    const double lambda = rate_(engine_.now());
+    AMOEBA_ASSERT_MSG(lambda <= max_rate_ * (1.0 + 1e-9),
+                      "rate function exceeded its declared bound");
+    if (lambda > 0.0 && rng_.uniform() < lambda / max_rate_) {
+      ++emitted_;
+      on_arrival_();
+    }
+    if (running_) schedule_next();
+  });
+}
+
+ConstantLoadGenerator::ConstantLoadGenerator(sim::Engine& engine, sim::Rng rng,
+                                             double rate_qps,
+                                             ArrivalFn on_arrival)
+    : engine_(engine), rng_(rng), rate_(rate_qps),
+      on_arrival_(std::move(on_arrival)) {
+  AMOEBA_EXPECTS(rate_qps > 0.0);
+  AMOEBA_EXPECTS(on_arrival_ != nullptr);
+}
+
+void ConstantLoadGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void ConstantLoadGenerator::stop() {
+  running_ = false;
+  if (pending_ != sim::kNoEvent) {
+    engine_.cancel(pending_);
+    pending_ = sim::kNoEvent;
+  }
+}
+
+void ConstantLoadGenerator::set_rate(double rate_qps) {
+  AMOEBA_EXPECTS(rate_qps > 0.0);
+  rate_ = rate_qps;
+}
+
+void ConstantLoadGenerator::schedule_next() {
+  const double gap = rng_.exponential(rate_);
+  pending_ = engine_.schedule_in(gap, [this] {
+    pending_ = sim::kNoEvent;
+    if (!running_) return;
+    ++emitted_;
+    on_arrival_();
+    if (running_) schedule_next();
+  });
+}
+
+}  // namespace amoeba::workload

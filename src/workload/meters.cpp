@@ -1,0 +1,49 @@
+#include "workload/meters.hpp"
+
+namespace amoeba::workload {
+
+const char* to_string(MeterKind kind) noexcept {
+  switch (kind) {
+    case MeterKind::kCpuMemory: return "cpu_memory";
+    case MeterKind::kDiskIo: return "disk_io";
+    case MeterKind::kNetwork: return "network";
+  }
+  return "?";
+}
+
+FunctionProfile meter_profile(MeterKind kind) {
+  FunctionProfile p;
+  p.platform_overhead_s = 0.012;
+  p.rpc_overhead_s = 0.002;
+  p.memory_mb = 128.0;
+  p.cpu_cv = 0.0;  // deterministic bodies: latency variation = contention
+  p.code_bytes = 0.25 * 1024 * 1024;
+  p.result_bytes = 1e3;
+  p.qos_target_s = 10.0;
+  p.peak_load_qps = kMeterProbeQps;
+  switch (kind) {
+    case MeterKind::kCpuMemory:
+      // 0.44 core-seconds at 1 QPS = 1.1% of a 40-core node (§VII-E).
+      p.name = "meter_cpu_memory";
+      p.exec = {.cpu_seconds = 0.440, .io_bytes = 0.0, .net_bytes = 0.0};
+      break;
+    case MeterKind::kDiskIo:
+      // 0.20 core-seconds = 0.5% CPU. The 200 MB IO body balances two
+      // pressures: heavy enough that the latency-vs-pressure curve is
+      // steep relative to the meter's small CPU share (CPU cross-talk
+      // would otherwise masquerade as disk pressure), light enough that
+      // the probe itself does not become a material disk tenant.
+      p.name = "meter_disk_io";
+      p.exec = {.cpu_seconds = 0.200, .io_bytes = 200e6, .net_bytes = 0.0};
+      break;
+    case MeterKind::kNetwork:
+      // 0.24 core-seconds = 0.6% CPU; 150 MB body, same balance.
+      p.name = "meter_network";
+      p.exec = {.cpu_seconds = 0.240, .io_bytes = 0.0, .net_bytes = 150e6};
+      break;
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace amoeba::workload

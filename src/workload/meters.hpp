@@ -1,0 +1,35 @@
+// Contention-meter function definitions (paper §IV-B).
+//
+// A contention meter is a "delicate function" whose latency, when run at a
+// known low rate on the serverless platform, reveals how much pressure the
+// resident microservices put on one shared resource. Three meters cover
+// the paper's three dimensions: CPU/memory, disk-IO bandwidth, and network
+// bandwidth.
+//
+// The per-query CPU demands are sized so that at the monitor's standard
+// 1 QPS probing rate the meters cost 1.1% / 0.5% / 0.6% of the 40-core
+// node — the exact overheads the paper reports in §VII-E.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "workload/function_profile.hpp"
+
+namespace amoeba::workload {
+
+enum class MeterKind { kCpuMemory = 0, kDiskIo = 1, kNetwork = 2 };
+
+inline constexpr std::array<MeterKind, 3> kAllMeters = {
+    MeterKind::kCpuMemory, MeterKind::kDiskIo, MeterKind::kNetwork};
+
+[[nodiscard]] const char* to_string(MeterKind kind) noexcept;
+
+/// The function profile a meter deploys on the serverless platform.
+[[nodiscard]] FunctionProfile meter_profile(MeterKind kind);
+
+/// Probing rate used by the contention monitor (paper §VII-E: "each
+/// contention meter runs for 1 query per second").
+inline constexpr double kMeterProbeQps = 1.0;
+
+}  // namespace amoeba::workload

@@ -1,0 +1,297 @@
+#include "core/hybrid_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::core {
+namespace {
+
+serverless::PlatformConfig sp_config(double pool_mb = 4096.0) {
+  serverless::PlatformConfig cfg;
+  cfg.cores = 8.0;
+  cfg.pool_memory_mb = pool_mb;
+  cfg.disk_bps = 1.0e9;
+  cfg.net_bps = 1.0e9;
+  cfg.cold_start_mean_s = 0.5;
+  cfg.cold_start_cv = 0.0;
+  cfg.keep_alive_s = 60.0;
+  return cfg;
+}
+
+iaas::IaasConfig ip_config() {
+  iaas::IaasConfig cfg;
+  cfg.vm_boot_s = 5.0;
+  return cfg;
+}
+
+workload::FunctionProfile service() {
+  workload::FunctionProfile p;
+  p.name = "svc";
+  p.exec = {.cpu_seconds = 0.05, .io_bytes = 0.0, .net_bytes = 0.0};
+  p.code_bytes = 1e6;
+  p.result_bytes = 1e4;
+  p.platform_overhead_s = 0.01;
+  p.rpc_overhead_s = 0.002;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.0;
+  p.qos_target_s = 0.5;
+  p.peak_load_qps = 20.0;
+  return p;
+}
+
+iaas::VmSpec vm_spec() {
+  iaas::VmSpec s;
+  s.cores = 2.0;
+  s.memory_mb = 2048.0;
+  s.boot_s = 5.0;
+  return s;
+}
+
+struct Fixture {
+  sim::Engine engine;
+  serverless::ServerlessPlatform sp;
+  iaas::IaasPlatform ip;
+  HybridExecutionEngine hx;
+
+  explicit Fixture(HybridEngineConfig cfg = {}, double pool_mb = 4096.0)
+      : sp(engine, sp_config(pool_mb), sim::Rng(1)),
+        ip(engine, ip_config(), sim::Rng(2)),
+        hx(engine, sp, ip, cfg, sim::Rng(3)) {}
+};
+
+TEST(HybridEngine, StartsOnIaasAndBuffersUntilBoot) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kIaas);
+  int done = 0;
+  // Submit before the VM is ready (boot takes 5 s).
+  f.engine.schedule(1.0, [&] {
+    f.hx.submit("svc", [&](const workload::QueryRecord&) { ++done; });
+  });
+  f.engine.run_until(3.0);
+  EXPECT_EQ(done, 0);  // buffered
+  f.engine.run();
+  EXPECT_EQ(done, 1);  // flushed after boot
+}
+
+TEST(HybridEngine, MirrorsConfiguredFractionToServerless) {
+  HybridEngineConfig cfg;
+  cfg.mirror_fraction = 0.5;
+  Fixture f(cfg);
+  f.hx.add_service(service(), vm_spec());
+  int mirrored = 0;
+  f.hx.set_mirror_observer(
+      [&](const std::string& name, const workload::QueryRecord&) {
+        EXPECT_EQ(name, "svc");
+        ++mirrored;
+      });
+  f.engine.run();  // boot
+  for (int i = 0; i < 400; ++i) {
+    f.engine.schedule_in(0.01 * i, [&] {
+      f.hx.submit("svc", [](const workload::QueryRecord&) {});
+    });
+  }
+  f.engine.run();
+  EXPECT_NEAR(mirrored, 200, 50);
+  EXPECT_EQ(f.hx.mirrored_queries(), static_cast<std::uint64_t>(mirrored));
+}
+
+TEST(HybridEngine, ZeroMirrorFractionMirrorsNothing) {
+  HybridEngineConfig cfg;
+  cfg.mirror_fraction = 0.0;
+  Fixture f(cfg);
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run();
+  for (int i = 0; i < 50; ++i) {
+    f.hx.submit("svc", [](const workload::QueryRecord&) {});
+  }
+  f.engine.run();
+  EXPECT_EQ(f.hx.mirrored_queries(), 0u);
+}
+
+TEST(HybridEngine, SwitchToServerlessPrewarmsBeforeFlip) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run();  // boot VM
+
+  bool completed = false;
+  f.hx.switch_to_serverless("svc", 10.0, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    completed = true;
+  });
+  EXPECT_TRUE(f.hx.transitioning("svc"));
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kIaas);  // not yet flipped
+  // Eq. 7: n = ceil(10 * 0.5) = 5 containers requested.
+  EXPECT_EQ(f.sp.counts("svc").starting, 5);
+  f.engine.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+  EXPECT_FALSE(f.hx.transitioning("svc"));
+  // The VM was drained and stopped after the flip.
+  EXPECT_EQ(f.ip.state("svc"), iaas::VmState::kStopped);
+  // Switch event logged with the load.
+  ASSERT_EQ(f.hx.switch_events().size(), 1u);
+  EXPECT_EQ(f.hx.switch_events()[0].to, DeployMode::kServerless);
+  EXPECT_DOUBLE_EQ(f.hx.switch_events()[0].load_qps, 10.0);
+}
+
+TEST(HybridEngine, NoPrewarmFlipsImmediately) {
+  HybridEngineConfig cfg;
+  cfg.enable_prewarm = false;
+  Fixture f(cfg);
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run();
+  bool ok = false;
+  f.hx.switch_to_serverless("svc", 10.0, [&](bool v) { ok = v; });
+  EXPECT_TRUE(ok);  // synchronous flip
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+  EXPECT_EQ(f.sp.counts("svc").total(), 0);  // nothing warmed
+}
+
+TEST(HybridEngine, SwitchAbortsOnTimeoutWhenPoolFull) {
+  HybridEngineConfig cfg;
+  cfg.switch_timeout_s = 3.0;
+  // Pool with a single container slot, already hogged by another function.
+  Fixture f(cfg, 256.0);
+  f.hx.add_service(service(), vm_spec());
+  workload::FunctionProfile hog = service();
+  hog.name = "hog";
+  hog.exec.cpu_seconds = 1000.0;  // never finishes within the test
+  f.sp.register_function(hog);
+  f.sp.submit("hog", [](const workload::QueryRecord&) {});
+  f.engine.run_until(6.0);  // VM booted, hog busy in the only slot
+
+  bool result = true;
+  f.hx.switch_to_serverless("svc", 10.0, [&](bool ok) { result = ok; });
+  f.engine.run_until(12.0);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kIaas);  // stayed put
+  EXPECT_FALSE(f.hx.transitioning("svc"));
+}
+
+TEST(HybridEngine, SwitchBackToIaasBootsThenRetires) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);  // VM booted
+  f.hx.switch_to_serverless("svc", 4.0, [](bool) {});
+  f.engine.run_until(10.0);  // prewarm done, still inside keep-alive
+  ASSERT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+  const int warm = f.sp.counts("svc").total();
+  EXPECT_GT(warm, 0);
+
+  bool ok = false;
+  f.hx.switch_to_iaas("svc", 4.0, [&](bool v) { ok = v; });
+  EXPECT_TRUE(f.hx.transitioning("svc"));
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kServerless);  // until VM ready
+  f.engine.run_until(20.0);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kIaas);
+  EXPECT_TRUE(f.ip.is_running("svc"));
+  // Containers were retired (idle destroyed immediately).
+  EXPECT_EQ(f.sp.counts("svc").total(), 0);
+  EXPECT_EQ(f.hx.switch_events().size(), 2u);
+}
+
+TEST(HybridEngine, ServerlessRouteDeliversQueries) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);
+  f.hx.switch_to_serverless("svc", 4.0, [](bool) {});
+  f.engine.run_until(10.0);
+  int done = 0;
+  f.hx.submit("svc", [&](const workload::QueryRecord&) { ++done; });
+  f.engine.run_until(12.0);
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(f.sp.stats("svc").completed, 1u);
+}
+
+TEST(HybridEngine, MaintainWarmTopsUpTheWarmSet) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);
+  f.hx.switch_to_serverless("svc", 2.0, [](bool) {});
+  f.engine.run_until(10.0);
+  ASSERT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+  const int before = f.sp.counts("svc").total();
+  // Load grew: Eq. 7 for 16 qps at 0.5 s QoS wants 8 containers.
+  f.hx.maintain_warm("svc", 16.0);
+  EXPECT_EQ(f.sp.counts("svc").total(), 8);
+  EXPECT_GE(8, before);
+}
+
+TEST(HybridEngine, MaintainWarmRespectsCapAndMode) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec(), /*serverless_max_containers=*/3);
+  f.engine.run_until(6.0);
+  // On IaaS: no-op.
+  f.hx.maintain_warm("svc", 16.0);
+  EXPECT_EQ(f.sp.counts("svc").total(), 0);
+  f.hx.switch_to_serverless("svc", 2.0, [](bool) {});
+  f.engine.run_until(10.0);
+  f.hx.maintain_warm("svc", 16.0);
+  EXPECT_EQ(f.sp.counts("svc").total(), 3);  // capped at n_max
+}
+
+TEST(HybridEngine, MaintainWarmNoopWhenPrewarmDisabled) {
+  HybridEngineConfig cfg;
+  cfg.enable_prewarm = false;
+  Fixture f(cfg);
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);
+  f.hx.switch_to_serverless("svc", 2.0, [](bool) {});
+  f.engine.run_until(7.0);
+  f.hx.maintain_warm("svc", 16.0);
+  EXPECT_EQ(f.sp.counts("svc").total(), 0);
+}
+
+TEST(HybridEngine, MirroringFlagGatesShadowTraffic) {
+  HybridEngineConfig cfg;
+  cfg.mirror_fraction = 1.0;
+  Fixture f(cfg);
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);
+  EXPECT_TRUE(f.hx.mirroring("svc"));
+  f.hx.submit("svc", [](const workload::QueryRecord&) {});
+  EXPECT_EQ(f.hx.mirrored_queries(), 1u);
+  f.hx.set_mirroring("svc", false);
+  f.hx.submit("svc", [](const workload::QueryRecord&) {});
+  EXPECT_EQ(f.hx.mirrored_queries(), 1u);  // unchanged
+}
+
+TEST(HybridEngine, AvailableContainersUsesHeadroomAndCap) {
+  Fixture f;  // pool 4096 MB = 16 containers
+  f.hx.add_service(service(), vm_spec(), /*serverless_max_containers=*/10);
+  EXPECT_EQ(f.hx.available_containers("svc"), 10);
+
+  workload::FunctionProfile other = service();
+  other.name = "other";
+  Fixture g;  // fresh fixture without cap
+  g.hx.add_service(other, vm_spec());
+  EXPECT_EQ(g.hx.available_containers("other"), 16);
+}
+
+TEST(HybridEngine, DoubleSwitchThrows) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run();
+  f.hx.switch_to_serverless("svc", 10.0, [](bool) {});
+  EXPECT_THROW(f.hx.switch_to_serverless("svc", 10.0, [](bool) {}),
+               ContractError);
+  EXPECT_THROW(f.hx.switch_to_iaas("svc", 1.0, [](bool) {}), ContractError);
+}
+
+TEST(HybridEngine, SwitchToCurrentModeThrows) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run();
+  EXPECT_THROW(f.hx.switch_to_iaas("svc", 1.0, [](bool) {}), ContractError);
+}
+
+TEST(HybridEngine, UnknownServiceThrows) {
+  Fixture f;
+  EXPECT_THROW(f.hx.submit("ghost", [](const workload::QueryRecord&) {}),
+               ContractError);
+  EXPECT_THROW((void)f.hx.route("ghost"), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::core

@@ -1,0 +1,66 @@
+#include "core/latency_surface.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::core {
+namespace {
+
+LatencySurface plane_surface() {
+  // L(P, V) = 0.1 + 0.2 P + 0.01 V on a 3x3 grid: bilinear interpolation
+  // of a plane is exact.
+  std::vector<double> ps = {0.0, 0.5, 1.0};
+  std::vector<double> vs = {0.0, 10.0, 20.0};
+  std::vector<double> lat;
+  for (double p : ps) {
+    for (double v : vs) lat.push_back(0.1 + 0.2 * p + 0.01 * v);
+  }
+  return LatencySurface(ps, vs, lat);
+}
+
+TEST(LatencySurface, ExactAtGridPoints) {
+  const auto s = plane_surface();
+  EXPECT_DOUBLE_EQ(s.at(0.0, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(s.at(1.0, 20.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(0.5, 10.0), 0.3);
+}
+
+TEST(LatencySurface, BilinearIsExactForPlanes) {
+  const auto s = plane_surface();
+  for (double p : {0.1, 0.25, 0.6, 0.9}) {
+    for (double v : {2.0, 7.5, 13.0, 19.0}) {
+      EXPECT_NEAR(s.at(p, v), 0.1 + 0.2 * p + 0.01 * v, 1e-12);
+    }
+  }
+}
+
+TEST(LatencySurface, ClampsOutsideGrid) {
+  const auto s = plane_surface();
+  EXPECT_DOUBLE_EQ(s.at(-1.0, -5.0), s.at(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(s.at(2.0, 100.0), s.at(1.0, 20.0));
+  EXPECT_DOUBLE_EQ(s.at(0.5, 100.0), s.at(0.5, 20.0));
+}
+
+TEST(LatencySurface, BaseLatencyIsLowLowCorner) {
+  EXPECT_DOUBLE_EQ(plane_surface().base_latency(), 0.1);
+}
+
+TEST(LatencySurface, ValueAccessorRowMajor) {
+  const auto s = plane_surface();
+  EXPECT_DOUBLE_EQ(s.value(1, 2), 0.1 + 0.2 * 0.5 + 0.01 * 20.0);
+  EXPECT_THROW((void)s.value(3, 0), ContractError);
+}
+
+TEST(LatencySurface, RejectsMalformedGrids) {
+  std::vector<double> good_p = {0.0, 1.0};
+  std::vector<double> good_v = {0.0, 1.0};
+  EXPECT_THROW(LatencySurface({0.0}, good_v, {1.0, 1.0}), ContractError);
+  EXPECT_THROW(LatencySurface(good_p, good_v, {1.0, 1.0, 1.0}),
+               ContractError);
+  EXPECT_THROW(LatencySurface({1.0, 0.0}, good_v, {1, 1, 1, 1}),
+               ContractError);
+  EXPECT_THROW(LatencySurface(good_p, good_v, {1.0, 1.0, -1.0, 1.0}),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::core

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/prewarm_policy.hpp"
+#include "core/sample_period.hpp"
+
+namespace amoeba::core {
+namespace {
+
+TEST(PrewarmPolicy, Eq7Bracketing) {
+  PrewarmPolicy p;
+  // Eq. 7: (n-1)/QoS_t < V_u <= n/QoS_t.
+  for (double load : {0.3, 1.0, 7.7, 42.0}) {
+    for (double qos : {0.1, 0.5, 2.0}) {
+      const int n = p.containers_for(load, qos);
+      EXPECT_LE(load, static_cast<double>(n) / qos + 1e-12)
+          << load << " " << qos;
+      if (n > p.min_containers) {
+        EXPECT_GT(load, (static_cast<double>(n) - 1.0) / qos - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PrewarmPolicy, ExactMultipleUsesTightCount) {
+  PrewarmPolicy p;
+  // V_u = 10, QoS = 0.5 -> n = 5 exactly satisfies V_u <= n/QoS.
+  EXPECT_EQ(p.containers_for(10.0, 0.5), 5);
+}
+
+TEST(PrewarmPolicy, ZeroLoadGivesMinimum) {
+  PrewarmPolicy p;
+  EXPECT_EQ(p.containers_for(0.0, 1.0), p.min_containers);
+}
+
+TEST(PrewarmPolicy, HeadroomScales) {
+  PrewarmPolicy p;
+  p.headroom = 1.5;
+  EXPECT_EQ(p.containers_for(10.0, 1.0), 15);
+}
+
+TEST(PrewarmPolicy, ClampsToBounds) {
+  PrewarmPolicy p;
+  p.min_containers = 2;
+  p.max_containers = 8;
+  EXPECT_EQ(p.containers_for(0.1, 1.0), 2);
+  EXPECT_EQ(p.containers_for(1000.0, 1.0), 8);
+}
+
+TEST(PrewarmPolicy, Validation) {
+  PrewarmPolicy p;
+  EXPECT_THROW((void)p.containers_for(-1.0, 1.0), ContractError);
+  EXPECT_THROW((void)p.containers_for(1.0, 0.0), ContractError);
+  p.headroom = 0.5;
+  EXPECT_THROW((void)p.containers_for(1.0, 1.0), ContractError);
+}
+
+TEST(SamplePeriod, Eq8Bound) {
+  SamplePeriodParams p;
+  p.cold_start_s = 2.0;
+  p.qos_target_s = 0.5;
+  p.exec_time_s = 0.3;
+  p.allowed_error = 0.1;
+  // (2.0 - 0.5 + 0.3) / (0.9 * 0.5) = 4.0.
+  EXPECT_NEAR(min_sample_period(p, 0.1), 4.0, 1e-12);
+}
+
+TEST(SamplePeriod, SmallerErrorMeansMoreFrequentSampling) {
+  // Paper §VI-B: "If the allowed error is small, Amoeba has to sample the
+  // contention on the serverless platform more frequently" — Eq. 8's bound
+  // shrinks as e shrinks (the (1-e) factor grows).
+  SamplePeriodParams p;
+  p.cold_start_s = 2.0;
+  p.qos_target_s = 0.5;
+  p.exec_time_s = 0.3;
+  p.allowed_error = 0.1;
+  const double loose = min_sample_period(p, 0.1);
+  p.allowed_error = 0.01;
+  const double strict = min_sample_period(p, 0.1);
+  EXPECT_LT(strict, loose);
+}
+
+TEST(SamplePeriod, FloorAppliesWhenBoundIsSmallOrNegative) {
+  SamplePeriodParams p;
+  p.cold_start_s = 0.1;
+  p.qos_target_s = 5.0;  // cold start within target: bound negative
+  p.exec_time_s = 0.1;
+  p.allowed_error = 0.1;
+  EXPECT_DOUBLE_EQ(min_sample_period(p, 2.0), 2.0);
+}
+
+TEST(SamplePeriod, Validation) {
+  SamplePeriodParams p;
+  p.allowed_error = 1.0;
+  EXPECT_THROW((void)min_sample_period(p), ContractError);
+  p.allowed_error = 0.5;
+  p.qos_target_s = 0.0;
+  EXPECT_THROW((void)min_sample_period(p), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::core

@@ -1,0 +1,252 @@
+#include "core/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "stats/percentile.hpp"
+
+namespace amoeba::core::queueing {
+namespace {
+
+/// Direct event-driven M/M/n queue: Poisson(lambda) arrivals, n servers
+/// with exp(mu) service, one FIFO queue. Returns waiting-time samples.
+stats::SampleSet simulate_mmn(double lambda, int n, double mu,
+                              double duration, std::uint64_t seed) {
+  sim::Engine engine;
+  sim::Rng rng(seed);
+  int busy = 0;
+  std::deque<double> queue;  // arrival times of waiting customers
+  stats::SampleSet waits;
+
+  std::function<void()> depart = [&] {
+    if (!queue.empty()) {
+      const double arrived = queue.front();
+      queue.pop_front();
+      waits.add(engine.now() - arrived);
+      engine.schedule_in(rng.exponential(mu), depart);
+    } else {
+      --busy;
+    }
+  };
+  std::function<void()> arrive = [&] {
+    if (busy < n) {
+      ++busy;
+      waits.add(0.0);
+      engine.schedule_in(rng.exponential(mu), depart);
+    } else {
+      queue.push_back(engine.now());
+    }
+    if (engine.now() < duration) {
+      engine.schedule_in(rng.exponential(lambda), arrive);
+    }
+  };
+  engine.schedule_in(rng.exponential(lambda), arrive);
+  engine.run();
+  return waits;
+}
+
+class MmnCrossValidation
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(MmnCrossValidation, WaitQuantileMatchesSimulation) {
+  // The paper's Eq. 4 closed form against a direct simulation of the same
+  // queue — the discriminant's math must describe the physics it models.
+  const auto [rho_target, n] = GetParam();
+  const double mu = 1.0;
+  const double lambda = rho_target * n * mu;
+  const auto waits = simulate_mmn(lambda, n, mu, 60000.0, 1234);
+  ASSERT_GT(waits.size(), 20000u);
+  for (double q : {0.90, 0.95}) {
+    const double theory = wait_quantile(lambda, n, mu, q);
+    const double simulated = waits.quantile(q);
+    if (theory <= 1e-12) {
+      EXPECT_LT(simulated, 0.5 / mu) << "q=" << q;
+    } else {
+      EXPECT_NEAR(simulated / theory, 1.0, 0.15)
+          << "q=" << q << " theory=" << theory << " sim=" << simulated;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operating, MmnCrossValidation,
+    ::testing::Values(std::make_tuple(0.7, 1), std::make_tuple(0.9, 1),
+                      std::make_tuple(0.8, 4), std::make_tuple(0.9, 8),
+                      std::make_tuple(0.95, 16)));
+
+TEST(Queueing, RhoDefinition) {
+  EXPECT_DOUBLE_EQ(rho(5.0, 10, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(rho(3.0, 2, 3.0), 0.5);
+}
+
+TEST(Queueing, Mm1ClosedForms) {
+  // For n = 1: π0 = 1-ρ, ErlangC = ρ, E[W] = ρ/(μ-λ).
+  const double lambda = 0.6, mu = 1.0;
+  EXPECT_NEAR(pi0(lambda, 1, mu), 0.4, 1e-12);
+  EXPECT_NEAR(erlang_c(lambda, 1, mu), 0.6, 1e-12);
+  EXPECT_NEAR(mean_wait(lambda, 1, mu), 0.6 / 0.4, 1e-12);
+}
+
+TEST(Queueing, Mm2KnownErlangC) {
+  // M/M/2 with a = λ/μ = 1 (ρ = 0.5): C = a²/(a² + 2(1-ρ)·(1+a)) ... use
+  // the standard closed form: C(2,1) = 1/3.
+  EXPECT_NEAR(erlang_c(1.0, 2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Queueing, PiSumsToOne) {
+  // Σ_k π_k = 1: check via π0 normalization for a moderate system.
+  const double lambda = 7.0, mu = 1.0;
+  const int n = 10;
+  const double p0 = pi0(lambda, n, mu);
+  double sum = 0.0;
+  const double a = lambda / mu;
+  double term = 1.0;  // (nρ)^0/0!
+  for (int k = 0; k < n; ++k) {
+    sum += term * p0;
+    term *= a / (k + 1);
+  }
+  // Tail: geometric from k = n.
+  const double r = rho(lambda, n, mu);
+  sum += term * p0 / (1.0 - r);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(Queueing, WaitQuantileInvertsDistribution) {
+  // Eq. 4: verify F_W(wait_quantile(q)) == q when the quantile is interior.
+  const double lambda = 9.0, mu = 1.0;
+  const int n = 10;
+  for (double q : {0.90, 0.95, 0.99}) {
+    const double t = wait_quantile(lambda, n, mu, q);
+    ASSERT_GT(t, 0.0);
+    const double r = rho(lambda, n, mu);
+    const double fw =
+        1.0 - pi_n(lambda, n, mu) / (1.0 - r) * std::exp(-n * mu * (1.0 - r) * t);
+    EXPECT_NEAR(fw, q, 1e-10);
+  }
+}
+
+TEST(Queueing, WaitQuantileZeroWhenLoadTiny) {
+  // At negligible load, 95% of queries do not wait.
+  EXPECT_DOUBLE_EQ(wait_quantile(0.001, 10, 1.0, 0.95), 0.0);
+}
+
+TEST(Queueing, WaitQuantileMonotoneInLoad) {
+  double prev = -1.0;
+  for (double lambda : {2.0, 5.0, 8.0, 9.5}) {
+    const double t = wait_quantile(lambda, 10, 1.0, 0.95);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Queueing, QosSatisfiedBoundaryBehaviour) {
+  const int n = 10;
+  const double mu = 1.0, r = 0.95;
+  EXPECT_TRUE(qos_satisfied(1.0, n, mu, 2.0, r));
+  EXPECT_FALSE(qos_satisfied(9.99, n, mu, 1.05, r));
+  EXPECT_FALSE(qos_satisfied(20.0, n, mu, 100.0, r));  // unstable
+}
+
+TEST(Queueing, MaxArrivalRateIsTheQosBoundary) {
+  const int n = 16;
+  const double mu = 2.0, t_d = 1.2, r = 0.95;
+  const auto lmax = max_arrival_rate(n, mu, t_d, r);
+  ASSERT_TRUE(lmax.has_value());
+  EXPECT_TRUE(qos_satisfied(*lmax * 0.999, n, mu, t_d, r));
+  EXPECT_FALSE(qos_satisfied(*lmax + 1e-3, n, mu, t_d, r));
+}
+
+TEST(Queueing, MaxArrivalRateNulloptWhenTargetUnreachable) {
+  // Service time alone (1/μ = 1) exceeds the 0.5 s target.
+  EXPECT_FALSE(max_arrival_rate(10, 1.0, 0.5, 0.95).has_value());
+}
+
+TEST(Queueing, MaxArrivalRateGrowsWithServers) {
+  const double mu = 1.0, t_d = 2.0, r = 0.95;
+  double prev = 0.0;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const auto lmax = max_arrival_rate(n, mu, t_d, r);
+    ASSERT_TRUE(lmax.has_value());
+    EXPECT_GT(*lmax, prev);
+    prev = *lmax;
+  }
+}
+
+TEST(Queueing, MaxArrivalRateStableForLargeN) {
+  // Log-space state probabilities must survive n in the thousands.
+  const auto lmax = max_arrival_rate(2000, 1.0, 1.5, 0.95);
+  ASSERT_TRUE(lmax.has_value());
+  EXPECT_GT(*lmax, 1800.0);
+  EXPECT_LT(*lmax, 2000.0);
+}
+
+TEST(Queueing, Eq5AgreesWithBisectionSolver) {
+  // The paper's closed form (solved by fixed point) and the robust
+  // bisection must identify the same switch boundary.
+  for (int n : {4, 8, 16, 32}) {
+    const double mu = 2.0, t_d = 1.0, r = 0.95;
+    const auto fixed_point = eq5_lambda(n, mu, t_d, r);
+    const auto bisect = max_arrival_rate(n, mu, t_d, r);
+    ASSERT_TRUE(fixed_point.has_value()) << n;
+    ASSERT_TRUE(bisect.has_value()) << n;
+    EXPECT_NEAR(*fixed_point, *bisect, 0.02 * *bisect) << "n=" << n;
+  }
+}
+
+TEST(Queueing, Eq5NulloptWhenServiceMissesTarget) {
+  EXPECT_FALSE(eq5_lambda(10, 1.0, 0.9, 0.95).has_value());
+}
+
+TEST(Queueing, MinServersSufficientAndTight) {
+  const double lambda = 20.0, mu = 2.0, t_d = 1.0, r = 0.95;
+  const auto n = min_servers(lambda, mu, t_d, r);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_TRUE(qos_satisfied(lambda, *n, mu, t_d, r));
+  if (*n > 1) {
+    EXPECT_FALSE(qos_satisfied(lambda, *n - 1, mu, t_d, r));
+  }
+}
+
+TEST(MinServers, NulloptWhenImpossible) {
+  EXPECT_FALSE(min_servers(1.0, 1.0, 0.5, 0.95).has_value());
+}
+
+TEST(MinServers, AtLeastStabilityFloor) {
+  const auto n = min_servers(10.0, 1.0, 5.0, 0.95);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_GE(*n, 11);  // ρ < 1 requires n > λ/μ
+}
+
+class QueueingSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(QueueingSweep, RoundTripMinServersMaxRate) {
+  // min_servers(λ) = n ⇒ max_arrival_rate(n) >= λ.
+  const auto [n_base, mu, t_d] = GetParam();
+  const double r = 0.95;
+  const auto lmax = max_arrival_rate(n_base, mu, t_d, r);
+  if (!lmax.has_value()) GTEST_SKIP() << "target unreachable";
+  const auto n_back = min_servers(*lmax * 0.99, mu, t_d, r);
+  ASSERT_TRUE(n_back.has_value());
+  EXPECT_LE(*n_back, n_base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QueueingSweep,
+    ::testing::Combine(::testing::Values(2, 5, 10, 40),
+                       ::testing::Values(0.5, 2.0, 10.0),
+                       ::testing::Values(1.0, 3.0)));
+
+TEST(Queueing, ParameterValidation) {
+  EXPECT_THROW((void)rho(-1.0, 10, 1.0), ContractError);
+  EXPECT_THROW((void)rho(1.0, 0, 1.0), ContractError);
+  EXPECT_THROW((void)pi0(20.0, 10, 1.0), ContractError);  // unstable
+  EXPECT_THROW((void)wait_quantile(5.0, 10, 1.0, 1.0), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::core::queueing

@@ -1,0 +1,106 @@
+#include "core/resource_accounting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::core {
+namespace {
+
+serverless::PlatformConfig sp_config() {
+  serverless::PlatformConfig cfg;
+  cfg.cores = 8.0;
+  cfg.pool_memory_mb = 4096.0;
+  cfg.disk_bps = 1.0e9;
+  cfg.net_bps = 1.0e9;
+  cfg.cold_start_mean_s = 0.0;  // instant boots: exact integrals
+  cfg.keep_alive_s = 5.0;
+  return cfg;
+}
+
+workload::FunctionProfile service() {
+  workload::FunctionProfile p;
+  p.name = "svc";
+  p.exec = {.cpu_seconds = 0.1, .io_bytes = 0.0, .net_bytes = 0.0};
+  p.rpc_overhead_s = 0.0;
+  p.platform_overhead_s = 0.0;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.0;
+  p.qos_target_s = 1.0;
+  p.peak_load_qps = 10.0;
+  return p;
+}
+
+TEST(ResourceAccounting, IaasUsageIsRentedAllocation) {
+  sim::Engine e;
+  serverless::ServerlessPlatform sp(e, sp_config(), sim::Rng(1));
+  iaas::IaasPlatform ip(e, iaas::IaasConfig{}, sim::Rng(2));
+  iaas::VmSpec spec;
+  spec.cores = 4.0;
+  spec.memory_mb = 2048.0;
+  spec.boot_s = 0.0;
+  ip.register_service(service(), spec);
+  ip.boot("svc", [] {});
+  e.run();
+  e.schedule(10.0, [] {});
+  e.run();
+
+  ResourceAccountant acc(sp, ip);
+  const auto u = acc.iaas_usage("svc", 10.0);
+  EXPECT_NEAR(u.cpu_core_seconds, 40.0, 1e-9);
+  EXPECT_NEAR(u.memory_mb_seconds, 20480.0, 1e-9);
+}
+
+TEST(ResourceAccounting, ServerlessUsageIsConsumptionPlusContainerMemory) {
+  sim::Engine e;
+  serverless::ServerlessPlatform sp(e, sp_config(), sim::Rng(3));
+  iaas::IaasPlatform ip(e, iaas::IaasConfig{}, sim::Rng(4));
+  sp.register_function(service());
+  for (int i = 0; i < 5; ++i) {
+    sp.submit("svc", [](const workload::QueryRecord&) {});
+  }
+  e.run();  // queries done; container expires after keep-alive
+
+  ResourceAccountant acc(sp, ip);
+  const double now = e.now();
+  const auto u = acc.serverless_usage("svc", now);
+  EXPECT_NEAR(u.cpu_core_seconds, 0.5, 1e-9);  // 5 × 0.1 actual compute
+  EXPECT_GT(u.memory_mb_seconds, 0.0);
+  // 5 simultaneous queries spawn 5 containers (one per queued query); each
+  // lives its ~0.1 s of work plus the 5 s keep-alive at 256 MB.
+  EXPECT_NEAR(u.memory_mb_seconds, 5.0 * 256.0 * 5.1, 5.0 * 256.0 * 0.5);
+}
+
+TEST(ResourceAccounting, CombinedUsageSumsPlatforms) {
+  sim::Engine e;
+  serverless::ServerlessPlatform sp(e, sp_config(), sim::Rng(5));
+  iaas::IaasPlatform ip(e, iaas::IaasConfig{}, sim::Rng(6));
+  iaas::VmSpec spec;
+  spec.cores = 1.0;
+  spec.memory_mb = 512.0;
+  spec.boot_s = 0.0;
+  ip.register_service(service(), spec);
+  sp.register_function(service());
+  ip.boot("svc", [] {});
+  e.run();
+  e.schedule(4.0, [] {});
+  e.run();
+
+  ResourceAccountant acc(sp, ip);
+  const auto combined = acc.usage("svc", 4.0);
+  auto expected = acc.iaas_usage("svc", 4.0);
+  expected += acc.serverless_usage("svc", 4.0);
+  EXPECT_DOUBLE_EQ(combined.cpu_core_seconds, expected.cpu_core_seconds);
+  EXPECT_DOUBLE_EQ(combined.memory_mb_seconds, expected.memory_mb_seconds);
+}
+
+TEST(ResourceAccounting, UnregisteredServiceIsZero) {
+  sim::Engine e;
+  serverless::ServerlessPlatform sp(e, sp_config(), sim::Rng(7));
+  iaas::IaasPlatform ip(e, iaas::IaasConfig{}, sim::Rng(8));
+  ResourceAccountant acc(sp, ip);
+  const auto u = acc.usage("nobody", 1.0);
+  EXPECT_DOUBLE_EQ(u.cpu_core_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(u.memory_mb_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace amoeba::core

@@ -1,0 +1,115 @@
+#include "exp/profiling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::exp {
+namespace {
+
+ClusterConfig small_cluster() {
+  auto c = default_cluster();
+  // Shrink the node so profiling cells reach high pressure with less load
+  // (keeps the test fast on one core).
+  c.serverless.cores = 8.0;
+  c.serverless.disk_bps = 1.0e9;
+  c.serverless.net_bps = 1.0e9;
+  c.serverless.pool_memory_mb = 16384.0;
+  return c;
+}
+
+ProfilingConfig quick_config() {
+  ProfilingConfig cfg;
+  cfg.pressure_grid = {0.05, 0.45, 0.85};
+  cfg.load_fractions = {0.1, 0.5, 1.0};
+  cfg.cell_duration_s = 12.0;
+  cfg.warmup_s = 3.0;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(Profiling, StressorLoadInvertsPressure) {
+  const auto cluster = small_cluster();
+  // CPU stressor: 0.1 core-s per query; pressure 0.5 on 8 cores = 40 qps.
+  EXPECT_NEAR(stressor_load_for_pressure(workload::StressKind::kCpu, 0.5,
+                                         cluster),
+              40.0, 1e-9);
+  // IO stressor: 50 MB raw per query, inflated by the container IO tax
+  // (0.85): 0.5 GB/s of 1 GB/s effective = 8.5 qps.
+  const double eff = cluster.serverless.io_efficiency;
+  EXPECT_NEAR(stressor_load_for_pressure(workload::StressKind::kDiskIo, 0.5,
+                                         cluster),
+              10.0 * eff, 1e-9);
+}
+
+TEST(Profiling, CellProducesSamples) {
+  const auto cluster = small_cluster();
+  const auto cfg = quick_config();
+  const auto subject = workload::make_stressor(workload::StressKind::kCpu);
+  const auto cell =
+      run_profile_cell(subject, 5.0, nullptr, 0.0, cluster, cfg, 1);
+  EXPECT_GT(cell.samples, 30u);
+  EXPECT_GT(cell.mean_latency_s, 0.0);
+  EXPECT_GE(cell.tail_latency_s, cell.mean_latency_s);
+}
+
+TEST(Profiling, MeterCurvesAreCalibrated) {
+  const auto cluster = small_cluster();
+  const auto cal = profile_meters(cluster, quick_config());
+  ASSERT_TRUE(cal.complete());
+  for (std::size_t d = 0; d < core::kNumResources; ++d) {
+    const auto& curve = *cal.curves[d];
+    EXPECT_EQ(curve.points().size(), 3u);
+    // Latency grows (weakly) with pressure; the high-pressure end is
+    // strictly slower than solo.
+    EXPECT_GT(curve.points().back().latency,
+              curve.base_latency() * 1.02)
+        << "meter dim " << d;
+  }
+}
+
+TEST(Profiling, ServiceArtifactsComplete) {
+  const auto cluster = small_cluster();
+  const auto cfg = quick_config();
+  const auto cal = profile_meters(cluster, cfg);
+
+  // A CPU-heavy subject scaled to the small node.
+  workload::FunctionProfile subject = workload::make_float();
+  subject.peak_load_qps = 24.0;  // 24 × 0.08 = 1.9 of 8 cores at peak
+
+  const auto art = profile_service(subject, cluster, cal, cfg);
+  ASSERT_TRUE(art.complete());
+  EXPECT_GT(art.solo_latency_s, 0.08);  // at least the cpu work
+  EXPECT_LT(art.solo_latency_s, 0.2);
+
+  // The CPU surface must grow along the pressure axis...
+  const auto& cpu_surface = *art.surfaces[core::kCpuDim];
+  const double cpu_rise = cpu_surface.at(0.85, 2.4) / cpu_surface.at(0.05, 2.4);
+  EXPECT_GT(cpu_rise, 1.3);
+  // ...and dominate the IO surface's rise. (float is not perfectly flat on
+  // IO: its per-query code load crosses the contended disk — genuine
+  // physics the surfaces are supposed to capture.)
+  const auto& io_surface = *art.surfaces[core::kIoDim];
+  const double io_rise = io_surface.at(0.85, 2.4) / io_surface.at(0.05, 2.4);
+  EXPECT_LT(io_rise, cpu_rise);
+  EXPECT_LT(io_rise, 1.6);
+
+  // Footprint: the service presses mainly on CPU.
+  EXPECT_GT(art.pressure_per_qps[core::kCpuDim], 0.0);
+  EXPECT_GE(art.pressure_per_qps[core::kIoDim], 0.0);
+  // Sanity: cpu footprint per qps ~ cpu_seconds / cores = 0.01.
+  EXPECT_NEAR(art.pressure_per_qps[core::kCpuDim], 0.08 / 8.0, 0.006);
+}
+
+TEST(Profiling, ConfigValidation) {
+  ProfilingConfig cfg = quick_config();
+  cfg.pressure_grid = {0.5};
+  EXPECT_THROW(cfg.validate(), ContractError);
+  cfg = quick_config();
+  cfg.warmup_s = 20.0;  // >= duration
+  EXPECT_THROW(cfg.validate(), ContractError);
+  cfg = quick_config();
+  cfg.load_fractions = {0.5, 0.4};
+  EXPECT_THROW(cfg.validate(), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::exp

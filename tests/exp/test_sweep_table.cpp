@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "exp/sweep.hpp"
+#include "exp/table.hpp"
+
+namespace amoeba::exp {
+namespace {
+
+TEST(Sweep, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(500, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Sweep, ZeroItemsNoop) {
+  parallel_for(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(Sweep, SerialWhenOneThread) {
+  std::vector<std::size_t> order;
+  parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Sweep, ExceptionPropagates) {
+  EXPECT_THROW(parallel_for(100, 4,
+                            [](std::size_t i) {
+                              if (i == 42) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Sweep, ParallelMapPreservesOrder) {
+  const auto out = parallel_map<std::size_t>(
+      64, 4, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Sweep, EffectiveThreadsNeverZero) {
+  EXPECT_GE(effective_threads(0), 1u);
+  EXPECT_EQ(effective_threads(7), 7u);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "note"});
+  t.add_row({"x,y", "says \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\",\"says \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, FixedPercentSi) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.729, 1), "72.9%");
+  EXPECT_EQ(fmt_si(2.5e9, 1), "2.5G");
+  EXPECT_EQ(fmt_si(3.125e6, 2), "3.12M");  // round-half-to-even
+  EXPECT_EQ(fmt_si(12.0, 0), "12");
+}
+
+}  // namespace
+}  // namespace amoeba::exp

@@ -1,0 +1,100 @@
+#include "iaas/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::iaas {
+namespace {
+
+workload::FunctionProfile profile(const std::string& name) {
+  workload::FunctionProfile p;
+  p.name = name;
+  p.exec = {.cpu_seconds = 0.05, .io_bytes = 0.0, .net_bytes = 0.0};
+  p.rpc_overhead_s = 0.002;
+  p.memory_mb = 256.0;
+  p.cpu_cv = 0.0;
+  p.qos_target_s = 0.5;
+  p.peak_load_qps = 10.0;
+  return p;
+}
+
+IaasConfig config() {
+  IaasConfig c;
+  c.vm_boot_s = 5.0;
+  return c;
+}
+
+TEST(IaasPlatform, RegisterAndBootService) {
+  sim::Engine e;
+  IaasPlatform ip(e, config(), sim::Rng(1));
+  VmSpec spec;
+  spec.boot_s = -1.0;  // inherit platform default
+  ip.register_service(profile("a"), spec);
+  EXPECT_TRUE(ip.has_service("a"));
+  EXPECT_FALSE(ip.has_service("b"));
+  EXPECT_EQ(ip.state("a"), VmState::kStopped);
+  double ready = -1.0;
+  ip.boot("a", [&] { ready = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(ready, 5.0);  // platform default boot time
+  EXPECT_TRUE(ip.is_running("a"));
+}
+
+TEST(IaasPlatform, IndependentServices) {
+  sim::Engine e;
+  IaasPlatform ip(e, config(), sim::Rng(2));
+  ip.register_service(profile("a"), VmSpec{});
+  ip.register_service(profile("b"), VmSpec{});
+  ip.boot("a", [] {});
+  e.run();
+  EXPECT_TRUE(ip.is_running("a"));
+  EXPECT_FALSE(ip.is_running("b"));
+  int done = 0;
+  ip.submit("a", [&](const workload::QueryRecord&) { ++done; });
+  e.run();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(IaasPlatform, AccountingPerService) {
+  sim::Engine e;
+  IaasPlatform ip(e, config(), sim::Rng(3));
+  VmSpec big;
+  big.cores = 8.0;
+  big.memory_mb = 8192.0;
+  big.boot_s = 0.0;  // rent runs from t=0
+  ip.register_service(profile("a"), big);
+  ip.boot("a", [] {});
+  e.run();
+  e.schedule(10.0, [] {});
+  e.run();
+  EXPECT_NEAR(ip.rented_core_seconds("a", 10.0), 80.0, 1e-9);
+  EXPECT_NEAR(ip.rented_memory_mb_seconds("a", 10.0), 81920.0, 1e-9);
+}
+
+TEST(IaasPlatform, UnknownServiceThrows) {
+  sim::Engine e;
+  IaasPlatform ip(e, config(), sim::Rng(4));
+  EXPECT_THROW(ip.boot("ghost", [] {}), ContractError);
+  EXPECT_THROW(ip.submit("ghost", [](const workload::QueryRecord&) {}),
+               ContractError);
+  EXPECT_THROW((void)ip.state("ghost"), ContractError);
+}
+
+TEST(IaasPlatform, DuplicateRegistrationThrows) {
+  sim::Engine e;
+  IaasPlatform ip(e, config(), sim::Rng(5));
+  ip.register_service(profile("a"), VmSpec{});
+  EXPECT_THROW(ip.register_service(profile("a"), VmSpec{}), ContractError);
+}
+
+TEST(IaasPlatform, DrainAndStopDelegates) {
+  sim::Engine e;
+  IaasPlatform ip(e, config(), sim::Rng(6));
+  ip.register_service(profile("a"), VmSpec{});
+  ip.boot("a", [] {});
+  e.run();
+  ip.drain_and_stop("a");
+  EXPECT_EQ(ip.state("a"), VmState::kStopped);
+}
+
+}  // namespace
+}  // namespace amoeba::iaas

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/cloud_stor.hpp"
+#include "kernels/dd_io.hpp"
+#include "kernels/float_op.hpp"
+#include "kernels/linpack.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/native_meters.hpp"
+#include "kernels/thread_pool.hpp"
+
+namespace amoeba::kernels {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_chunks(1000, 4, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  int calls = 0;
+  parallel_chunks(10, 1, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  parallel_chunks(0, 4, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  EXPECT_THROW(parallel_chunks(100, 4,
+                               [](std::size_t b, std::size_t) {
+                                 if (b == 0) throw std::runtime_error("boom");
+                               }),
+               std::runtime_error);
+}
+
+TEST(FloatOp, DeterministicChecksumSingleThread) {
+  const auto a = run_float_op(10000, 1);
+  const auto b = run_float_op(10000, 1);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_GT(a.seconds, 0.0);
+}
+
+TEST(FloatOp, ThreadedChecksumMatchesSerial) {
+  const auto serial = run_float_op(50000, 1);
+  const auto threaded = run_float_op(50000, 4);
+  EXPECT_NEAR(threaded.checksum, serial.checksum,
+              1e-9 * std::abs(serial.checksum));
+}
+
+TEST(FloatOp, ChecksumHasExpectedMagnitude) {
+  // Each iteration adds sqrt(1 + x) with x in [0.5, 1.5): between 1.22
+  // and 1.59 per iteration.
+  const auto r = run_float_op(1000, 1);
+  EXPECT_GT(r.checksum, 1000 * 1.2);
+  EXPECT_LT(r.checksum, 1000 * 1.6);
+}
+
+TEST(Matmul, MatchesNaiveOnSmallInput) {
+  const std::size_t n = 17;  // not a multiple of the block size
+  std::vector<double> a(n * n), b(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = static_cast<double>(i % 7) - 3.0;
+    b[i] = static_cast<double>(i % 5) - 2.0;
+  }
+  const auto c = matmul(a, b, n, 2, 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double expect = 0.0;
+      for (std::size_t k = 0; k < n; ++k) expect += a[i * n + k] * b[k * n + j];
+      ASSERT_NEAR(c[i * n + j], expect, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  const std::size_t n = 8;
+  std::vector<double> a(n * n), id(n * n, 0.0);
+  for (std::size_t i = 0; i < n * n; ++i) a[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < n; ++i) id[i * n + i] = 1.0;
+  const auto c = matmul(a, id, n);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_DOUBLE_EQ(c[i], a[i]);
+}
+
+TEST(Matmul, RunReportsConsistentChecksum) {
+  const auto r1 = run_matmul(64, 1);
+  const auto r2 = run_matmul(64, 2);
+  EXPECT_NEAR(r1.checksum, r2.checksum, 1e-6 * std::abs(r1.checksum) + 1e-9);
+  EXPECT_GT(r1.gflops, 0.0);
+}
+
+TEST(Linpack, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+  std::vector<double> a = {2.0, 1.0, 1.0, 3.0};
+  std::vector<double> b = {5.0, 10.0};
+  ASSERT_TRUE(lu_solve(a, b, 2));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Linpack, DetectsSingularMatrix) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 4.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_FALSE(lu_solve(a, b, 2));
+}
+
+TEST(Linpack, PivotingHandlesZeroDiagonal) {
+  std::vector<double> a = {0.0, 1.0, 1.0, 0.0};
+  std::vector<double> b = {2.0, 3.0};
+  ASSERT_TRUE(lu_solve(a, b, 2));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Linpack, ResidualSmallForGeneratedSystem) {
+  const auto r = run_linpack(100, 2);
+  EXPECT_LT(r.normalized_residual, 50.0);  // LINPACK pass threshold ~ O(10)
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(Linpack, ThreadedMatchesSerialSolution) {
+  std::vector<double> a1(64 * 64), b1(64);
+  std::uint64_t s = 1;
+  for (auto& x : a1) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    x = static_cast<double>(s >> 40) * 0x1.0p-24;
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    a1[i * 64 + i] += 64.0;
+    b1[i] = static_cast<double>(i);
+  }
+  auto a2 = a1;
+  auto b2 = b1;
+  ASSERT_TRUE(lu_solve(a1, b1, 64, 1));
+  ASSERT_TRUE(lu_solve(a2, b2, 64, 4));
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(b1[i], b2[i], 1e-10);
+}
+
+TEST(DdIo, WriteReadVerifyRoundTrip) {
+  const auto r = run_dd(1 << 20, 64 << 10);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.bytes, std::size_t{1} << 20);
+  EXPECT_GT(r.write_mbps, 0.0);
+  EXPECT_GT(r.read_mbps, 0.0);
+}
+
+TEST(DdIo, OddSizesHandleTailBlocks) {
+  const auto r = run_dd((1 << 20) + 12345, 64 << 10);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(DdIo, RejectsZeroBytes) {
+  EXPECT_THROW((void)run_dd(0), ContractError);
+}
+
+TEST(CloudStor, TransferVerifies) {
+  const auto r = run_cloud_stor(2 << 20, 64 << 10);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.bytes, std::size_t{2} << 20);
+  EXPECT_GT(r.mbps, 0.0);
+}
+
+TEST(CloudStor, SmallOddTransfer) {
+  const auto r = run_cloud_stor(12345, 1024);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(NativeMeters, EachProbeCompletesQuickly) {
+  for (auto kind : {NativeMeterKind::kCpu, NativeMeterKind::kDiskIo,
+                    NativeMeterKind::kNetwork}) {
+    const double lat = run_native_meter_once(kind);
+    EXPECT_GT(lat, 0.0);
+    EXPECT_LT(lat, 10.0);
+  }
+}
+
+TEST(NativeMeters, LoadSweepProducesOnePointPerLevel) {
+  const auto points =
+      run_meter_under_load(NativeMeterKind::kCpu, {0, 2}, 2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].background_threads, 0u);
+  EXPECT_EQ(points[1].background_threads, 2u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.mean_latency_s, 0.0);
+    EXPECT_GE(p.max_latency_s, p.mean_latency_s);
+  }
+}
+
+}  // namespace
+}  // namespace amoeba::kernels

@@ -1,0 +1,107 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace amoeba::linalg {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixTrivial) {
+  Matrix d = {{3.0, 0.0}, {0.0, 1.0}};
+  const auto e = jacobi_eigen(d);
+  EXPECT_DOUBLE_EQ(e.values[0], 3.0);
+  EXPECT_DOUBLE_EQ(e.values[1], 1.0);
+}
+
+TEST(Jacobi, Known2x2) {
+  // Eigenvalues of {{2,1},{1,2}} are 3 and 1.
+  Matrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  const auto e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2).
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::abs(e.vectors(1, 0)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(Jacobi, RejectsNonSymmetric) {
+  Matrix a = {{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW((void)jacobi_eigen(a), ContractError);
+  EXPECT_THROW((void)jacobi_eigen(Matrix(2, 3)), ContractError);
+}
+
+class JacobiRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(JacobiRandom, ReconstructsMatrix) {
+  const std::size_t n = GetParam();
+  sim::Rng rng(100 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const auto e = jacobi_eigen(a);
+  // Rebuild A = V diag(λ) Vᵀ.
+  Matrix lambda(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) lambda(i, i) = e.values[i];
+  const Matrix rebuilt = e.vectors * lambda * e.vectors.transposed();
+  EXPECT_LT(Matrix::max_abs_diff(rebuilt, a), 1e-10);
+}
+
+TEST_P(JacobiRandom, EigenvectorsOrthonormal) {
+  const std::size_t n = GetParam();
+  sim::Rng rng(200 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const auto e = jacobi_eigen(a);
+  const Matrix vtv = e.vectors.transposed() * e.vectors;
+  EXPECT_LT(Matrix::max_abs_diff(vtv, Matrix::identity(n)), 1e-10);
+}
+
+TEST_P(JacobiRandom, ValuesDescending) {
+  const std::size_t n = GetParam();
+  sim::Rng rng(300 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const auto e = jacobi_eigen(a);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GE(e.values[i - 1], e.values[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiRandom,
+                         ::testing::Values(2, 3, 4, 6, 8, 12));
+
+TEST(Jacobi, PositiveSemidefiniteCovarianceStaysNonNegative) {
+  // Rank-1 covariance: one positive eigenvalue, rest ~0.
+  Matrix a(3, 3);
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v[i] * v[j];
+  }
+  const auto e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 14.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 0.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace amoeba::linalg

@@ -1,0 +1,194 @@
+#include "serverless/container_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::serverless {
+namespace {
+
+constexpr double kMem = 1024.0;      // pool: 4 containers at 256 MB
+constexpr double kContainer = 256.0;
+
+TEST(ContainerPool, StartReservesMemoryImmediately) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  const auto id = pool.start("f", kContainer, 1.0, [](ContainerId) {});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(pool.memory_in_use_mb(), kContainer);
+  EXPECT_EQ(pool.counts("f").starting, 1);
+  EXPECT_EQ(pool.counts("f").idle, 0);
+}
+
+TEST(ContainerPool, BootCompletesToIdleAfterDelay) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  double ready_at = -1.0;
+  (void)pool.start("f", kContainer, 1.5,
+                   [&](ContainerId) { ready_at = e.now(); });
+  e.run_until(2.0);
+  EXPECT_DOUBLE_EQ(ready_at, 1.5);
+  EXPECT_EQ(pool.counts("f").idle, 1);
+  EXPECT_EQ(pool.counts("f").starting, 0);
+}
+
+TEST(ContainerPool, StartFailsWhenMemoryExhausted) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(pool.start("f", kContainer, 0.1, [](ContainerId) {})
+                    .has_value());
+  }
+  EXPECT_FALSE(pool.start("f", kContainer, 0.1, [](ContainerId) {})
+                   .has_value());
+  EXPECT_EQ(pool.cold_starts(), 4u);
+}
+
+TEST(ContainerPool, KeepAliveExpiryReleasesMemory) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 10.0);
+  (void)pool.start("f", kContainer, 1.0, [](ContainerId) {});
+  e.run_until(5.0);
+  EXPECT_EQ(pool.counts("f").idle, 1);
+  e.run_until(12.0);  // idle since t=1, TTL 10 -> expires at t=11
+  EXPECT_EQ(pool.counts("f").idle, 0);
+  EXPECT_DOUBLE_EQ(pool.memory_in_use_mb(), 0.0);
+}
+
+TEST(ContainerPool, AcquireIdleCancelsExpiry) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 10.0);
+  (void)pool.start("f", kContainer, 1.0, [](ContainerId) {});
+  e.run_until(2.0);
+  const auto id = pool.acquire_idle("f");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(pool.counts("f").busy, 1);
+  e.run_until(60.0);  // busy container never expires
+  EXPECT_EQ(pool.counts("f").busy, 1);
+}
+
+TEST(ContainerPool, AcquireIdleIsLifo) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  (void)pool.start("f", kContainer, 1.0, [](ContainerId) {});
+  (void)pool.start("f", kContainer, 2.0, [](ContainerId) {});
+  e.run_until(3.0);
+  const auto id = pool.acquire_idle("f");
+  ASSERT_TRUE(id.has_value());
+  // The most recently idled container (the one that booted at t=2) is
+  // reused first.
+  EXPECT_DOUBLE_EQ(pool.get(*id).ready_at, 2.0);
+}
+
+TEST(ContainerPool, ReleaseToIdleRearmsExpiry) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 10.0);
+  (void)pool.start("f", kContainer, 1.0, [](ContainerId) {});
+  e.run_until(2.0);
+  const auto id = pool.acquire_idle("f");
+  ASSERT_TRUE(id.has_value());
+  e.run_until(8.0);
+  pool.release_to_idle(*id);
+  e.run_until(17.0);  // would have expired at 11 from original timer
+  EXPECT_EQ(pool.counts("f").idle, 1);
+  e.run_until(18.5);  // new TTL: idle at 8 + 10 = 18
+  EXPECT_EQ(pool.counts("f").idle, 0);
+}
+
+TEST(ContainerPool, EvictLruIdlePicksOldest) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  (void)pool.start("a", kContainer, 1.0, [](ContainerId) {});
+  (void)pool.start("b", kContainer, 2.0, [](ContainerId) {});
+  e.run_until(3.0);
+  EXPECT_TRUE(pool.evict_lru_idle());
+  EXPECT_EQ(pool.counts("a").idle, 0);  // idle since 1.0: evicted
+  EXPECT_EQ(pool.counts("b").idle, 1);
+  EXPECT_EQ(pool.evictions(), 1u);
+}
+
+TEST(ContainerPool, EvictRespectsExclusion) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  (void)pool.start("a", kContainer, 1.0, [](ContainerId) {});
+  e.run_until(2.0);
+  EXPECT_FALSE(pool.evict_lru_idle("a"));
+  EXPECT_TRUE(pool.evict_lru_idle("other"));
+}
+
+TEST(ContainerPool, EvictIgnoresBusyContainers) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  (void)pool.start("a", kContainer, 1.0, [](ContainerId) {});
+  e.run_until(2.0);
+  (void)pool.acquire_idle("a");
+  EXPECT_FALSE(pool.evict_lru_idle());
+}
+
+TEST(ContainerPool, DestroyIdleRemovesAllIdleOfFunction) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  (void)pool.start("a", kContainer, 1.0, [](ContainerId) {});
+  (void)pool.start("a", kContainer, 1.0, [](ContainerId) {});
+  (void)pool.start("b", kContainer, 1.0, [](ContainerId) {});
+  e.run_until(2.0);
+  EXPECT_EQ(pool.destroy_idle("a"), 2);
+  EXPECT_EQ(pool.counts("a").idle, 0);
+  EXPECT_EQ(pool.counts("b").idle, 1);
+}
+
+TEST(ContainerPool, DestroyWhileStartingDropsReadyCallback) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  bool ready = false;
+  const auto id = pool.start("f", kContainer, 5.0,
+                             [&](ContainerId) { ready = true; });
+  ASSERT_TRUE(id.has_value());
+  e.run_until(1.0);
+  pool.destroy(*id);
+  e.run_until(10.0);
+  EXPECT_FALSE(ready);
+  EXPECT_DOUBLE_EQ(pool.memory_in_use_mb(), 0.0);
+}
+
+TEST(ContainerPool, HeadroomCountsWholeContainers) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  EXPECT_EQ(pool.headroom(kContainer), 4);
+  (void)pool.start("f", kContainer, 1.0, [](ContainerId) {});
+  EXPECT_EQ(pool.headroom(kContainer), 3);
+  EXPECT_EQ(pool.headroom(300.0), 2);
+}
+
+TEST(ContainerPool, MemoryIntegralPerFunction) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  const auto id = pool.start("f", kContainer, 0.0, [](ContainerId) {});
+  ASSERT_TRUE(id.has_value());
+  e.run_until(10.0);
+  pool.destroy(*id);
+  e.run_until(20.0);
+  EXPECT_NEAR(pool.memory_mb_seconds("f", e.now()), kContainer * 10.0, 1e-6);
+  EXPECT_DOUBLE_EQ(pool.memory_mb_seconds("unknown", e.now()), 0.0);
+}
+
+TEST(ContainerPool, TotalCountsAggregate) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  (void)pool.start("a", kContainer, 1.0, [](ContainerId) {});
+  (void)pool.start("b", kContainer, 5.0, [](ContainerId) {});
+  e.run_until(2.0);
+  const auto t = pool.total_counts();
+  EXPECT_EQ(t.idle, 1);
+  EXPECT_EQ(t.starting, 1);
+  EXPECT_EQ(t.total(), 2);
+}
+
+TEST(ContainerPool, MarkBusyRequiresIdle) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  const auto id = pool.start("f", kContainer, 5.0, [](ContainerId) {});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_THROW(pool.mark_busy(*id), ContractError);  // still starting
+}
+
+}  // namespace
+}  // namespace amoeba::serverless

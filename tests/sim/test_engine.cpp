@@ -1,0 +1,154 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amoeba::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimestamps) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule(5.0, [&] {
+    e.schedule_in(2.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, CancelReturnsFalseForUnknownOrFired) {
+  Engine e;
+  const EventId id = e.schedule(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(999999));
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  const EventId id = e.schedule(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule(1.0, [&] { fired.push_back(1.0); });
+  e.schedule(2.0, [&] { fired.push_back(2.0); });
+  e.schedule(5.0, [&] { fired.push_back(5.0); });
+  e.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilExecutesEventExactlyAtBoundary) {
+  Engine e;
+  bool fired = false;
+  e.schedule(3.0, [&] { fired = true; });
+  e.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, EventsScheduledDuringExecutionRun) {
+  Engine e;
+  int depth = 0;
+  e.schedule(1.0, [&] {
+    ++depth;
+    e.schedule_in(1.0, [&] {
+      ++depth;
+      e.schedule_in(1.0, [&] { ++depth; });
+    });
+  });
+  e.run();
+  EXPECT_EQ(depth, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule(2.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule(1.0, [] {}), ContractError);
+}
+
+TEST(Engine, ZeroDelayEventFiresAtCurrentTime) {
+  Engine e;
+  double t = -1.0;
+  e.schedule(1.0, [&] { e.schedule_in(0.0, [&] { t = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(Engine, ExecutedCountsFiredEventsOnly) {
+  Engine e;
+  const EventId id = e.schedule(1.0, [] {});
+  e.schedule(2.0, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(Engine, StepReturnsFalseOnEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  double last = -1.0;
+  std::uint64_t count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    e.schedule(t, [&, t] {
+      EXPECT_GE(t, last);
+      last = t;
+      ++count;
+    });
+  }
+  e.run();
+  EXPECT_EQ(count, 10000u);
+}
+
+}  // namespace
+}  // namespace amoeba::sim

@@ -1,0 +1,240 @@
+#include "sim/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amoeba::sim {
+namespace {
+
+TEST(FairShare, SingleStreamRunsAtItsCap) {
+  Engine e;
+  FairShareResource cpu(e, "cpu", 4.0);
+  double done_at = -1.0;
+  cpu.open(2.0, 1.0, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.0);  // 2 units at rate 1
+}
+
+TEST(FairShare, UncappedStreamUsesFullCapacity) {
+  Engine e;
+  FairShareResource disk(e, "disk", 10.0);
+  double done_at = -1.0;
+  disk.open(20.0, 0.0, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.0);  // 20 units at rate 10
+}
+
+TEST(FairShare, EqualStreamsShareEqually) {
+  Engine e;
+  FairShareResource disk(e, "disk", 10.0);
+  std::vector<double> done(2, -1.0);
+  disk.open(10.0, 0.0, [&] { done[0] = e.now(); });
+  disk.open(10.0, 0.0, [&] { done[1] = e.now(); });
+  e.run();
+  // Both get rate 5 -> both finish at t = 2.
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(FairShare, CapLimitsAllocationWhenCapacityIsAmple) {
+  Engine e;
+  FairShareResource cpu(e, "cpu", 40.0);
+  double done_at = -1.0;
+  cpu.open(0.1, 1.0, [&] { done_at = e.now(); });  // container: 1-core cap
+  e.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.1);
+}
+
+TEST(FairShare, MaxMinRedistributioBeyondCappedStreams) {
+  Engine e;
+  FairShareResource r(e, "r", 10.0);
+  // One stream capped at 2, one uncapped: capped gets 2, other gets 8.
+  double done_small = -1.0, done_big = -1.0;
+  r.open(2.0, 2.0, [&] { done_small = e.now(); });   // 2 units at rate 2
+  r.open(8.0, 0.0, [&] { done_big = e.now(); });     // 8 units at rate 8
+  e.run();
+  EXPECT_DOUBLE_EQ(done_small, 1.0);
+  EXPECT_DOUBLE_EQ(done_big, 1.0);
+}
+
+TEST(FairShare, LateArrivalSlowsExistingStream) {
+  Engine e;
+  FairShareResource r(e, "r", 1.0);
+  double done_a = -1.0, done_b = -1.0;
+  r.open(1.0, 0.0, [&] { done_a = e.now(); });  // alone: would finish at 1.0
+  e.schedule(0.5, [&] {
+    r.open(1.0, 0.0, [&] { done_b = e.now(); });
+  });
+  e.run();
+  // A does 0.5 work by t=0.5, then shares: remaining 0.5 at rate 0.5 -> 1.5.
+  EXPECT_DOUBLE_EQ(done_a, 1.5);
+  // B: 0.5 at rate 0.5 until A leaves (t=1.5, 0.5 work done), then rate 1:
+  // remaining 0.5 -> finishes at 2.0.
+  EXPECT_DOUBLE_EQ(done_b, 2.0);
+}
+
+TEST(FairShare, DepartureSpeedsUpRemainder) {
+  Engine e;
+  FairShareResource r(e, "r", 2.0);
+  double done_long = -1.0;
+  r.open(1.0, 0.0, [&] {});                        // finishes at t=1 (rate 1)
+  r.open(3.0, 0.0, [&] { done_long = e.now(); });  // rate 1, then rate 2
+  e.run();
+  // Long stream: 1 unit by t=1, remaining 2 at rate 2 -> done at t=2.
+  EXPECT_DOUBLE_EQ(done_long, 2.0);
+}
+
+TEST(FairShare, CloseReturnsRemainingWork) {
+  Engine e;
+  FairShareResource r(e, "r", 1.0);
+  const StreamId id = r.open(10.0, 0.0, [] { FAIL() << "must not complete"; });
+  e.schedule(4.0, [&] {
+    const double remaining = r.close(id);
+    EXPECT_DOUBLE_EQ(remaining, 6.0);
+  });
+  e.run();
+  EXPECT_EQ(r.active(), 0);
+}
+
+TEST(FairShare, CloseUnknownStreamReturnsZero) {
+  Engine e;
+  FairShareResource r(e, "r", 1.0);
+  EXPECT_DOUBLE_EQ(r.close(12345), 0.0);
+}
+
+TEST(FairShare, ZeroWorkCompletesViaEventNotReentrantly) {
+  Engine e;
+  FairShareResource r(e, "r", 1.0);
+  bool done = false;
+  r.open(0.0, 0.0, [&] { done = true; });
+  EXPECT_FALSE(done);  // not re-entrant
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);  // but at the same instant
+}
+
+TEST(FairShare, PressureSumsCappedDemands) {
+  Engine e;
+  FairShareResource cpu(e, "cpu", 4.0);
+  cpu.open(100.0, 1.0, [] {});
+  cpu.open(100.0, 1.0, [] {});
+  EXPECT_DOUBLE_EQ(cpu.pressure(), 0.5);  // 2 cores demanded of 4
+  cpu.open(100.0, 0.0, [] {});            // uncapped demands everything
+  EXPECT_DOUBLE_EQ(cpu.pressure(), 1.5);
+}
+
+TEST(FairShare, UtilizationReflectsAllocation) {
+  Engine e;
+  FairShareResource cpu(e, "cpu", 4.0);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 0.0);
+  cpu.open(100.0, 1.0, [] {});
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 0.25);
+}
+
+TEST(FairShare, BusyIntegralAccumulates) {
+  Engine e;
+  FairShareResource cpu(e, "cpu", 2.0);
+  cpu.open(2.0, 1.0, [] {});  // rate 1 for 2 seconds
+  e.run();
+  EXPECT_NEAR(cpu.busy_capacity_seconds(e.now()), 2.0, 1e-9);
+  // Idle afterwards: integral frozen.
+  e.schedule(10.0, [] {});
+  e.run();
+  EXPECT_NEAR(cpu.busy_capacity_seconds(e.now()), 2.0, 1e-9);
+}
+
+TEST(FairShare, RateOfReportsCurrentAllocation) {
+  Engine e;
+  FairShareResource r(e, "r", 3.0);
+  const StreamId a = r.open(100.0, 1.0, [] {});
+  EXPECT_DOUBLE_EQ(r.rate_of(a), 1.0);
+  r.open(100.0, 0.0, [] {});
+  EXPECT_DOUBLE_EQ(r.rate_of(a), 1.0);  // capped stream keeps its cap
+  EXPECT_DOUBLE_EQ(r.rate_of(9999), 0.0);
+}
+
+TEST(FairShare, ManyStreamsConserveWork) {
+  Engine e;
+  FairShareResource r(e, "r", 8.0);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    r.open(1.0, 1.0, [&] { ++completed; });
+  }
+  e.run();
+  EXPECT_EQ(completed, 100);
+  // 100 units of work through an 8-unit/s resource with 1-unit/s caps:
+  // work-conserving finish no earlier than 100/8 s.
+  EXPECT_GE(e.now(), 100.0 / 8.0 - 1e-9);
+  EXPECT_NEAR(r.busy_capacity_seconds(e.now()), 100.0, 1e-6);
+}
+
+TEST(FairShare, CompletionCallbackCanOpenNewStream) {
+  Engine e;
+  FairShareResource r(e, "r", 1.0);
+  double second_done = -1.0;
+  r.open(1.0, 0.0, [&] {
+    r.open(1.0, 0.0, [&] { second_done = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(second_done, 2.0);
+}
+
+TEST(FairShare, InvalidConstructionThrows) {
+  Engine e;
+  EXPECT_THROW(FairShareResource(e, "bad", 0.0), ContractError);
+  EXPECT_THROW(FairShareResource(e, "bad", -1.0), ContractError);
+}
+
+TEST(FairShare, NegativeWorkThrows) {
+  Engine e;
+  FairShareResource r(e, "r", 1.0);
+  EXPECT_THROW(r.open(-1.0, 0.0, [] {}), ContractError);
+}
+
+TEST(FairShare, InterferenceSlowsStreamsGradually) {
+  // With interference γ, a lone capped stream on an 8-unit resource runs
+  // at 1 / (1 + γ·(1/8)); two streams at 1 / (1 + γ·(2/8)); etc.
+  Engine e;
+  FairShareResource cpu(e, "cpu", 8.0, /*interference=*/0.4);
+  const StreamId a = cpu.open(100.0, 1.0, [] {});
+  EXPECT_NEAR(cpu.rate_of(a), 1.0 / (1.0 + 0.4 * 0.125), 1e-12);
+  cpu.open(100.0, 1.0, [] {});
+  EXPECT_NEAR(cpu.rate_of(a), 1.0 / (1.0 + 0.4 * 0.25), 1e-12);
+}
+
+TEST(FairShare, InterferenceCompletionTimesConsistent) {
+  Engine e;
+  FairShareResource cpu(e, "cpu", 4.0, 0.5);
+  double done = -1.0;
+  cpu.open(1.0, 1.0, [&] { done = e.now(); });
+  e.run();
+  // Rate = 1/(1 + 0.5*0.25) = 8/9 -> completion at 9/8.
+  EXPECT_NEAR(done, 1.125, 1e-9);
+}
+
+TEST(FairShare, ZeroInterferenceIsPureMaxMin) {
+  Engine e;
+  FairShareResource cpu(e, "cpu", 8.0, 0.0);
+  const StreamId a = cpu.open(100.0, 1.0, [] {});
+  EXPECT_DOUBLE_EQ(cpu.rate_of(a), 1.0);
+}
+
+TEST(FairShare, NegativeInterferenceRejected) {
+  Engine e;
+  EXPECT_THROW(FairShareResource(e, "cpu", 8.0, -0.1), ContractError);
+}
+
+TEST(FairShare, SimultaneousCompletionsAllFire) {
+  Engine e;
+  FairShareResource r(e, "r", 2.0);
+  int completed = 0;
+  r.open(1.0, 1.0, [&] { ++completed; });
+  r.open(1.0, 1.0, [&] { ++completed; });
+  e.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+}  // namespace
+}  // namespace amoeba::sim

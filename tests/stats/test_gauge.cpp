@@ -1,0 +1,39 @@
+#include "stats/gauge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::stats {
+namespace {
+
+TEST(IntegratedGauge, IntegratesSteps) {
+  IntegratedGauge g(0.0);
+  g.set(0.0, 2.0);
+  g.set(5.0, 4.0);
+  EXPECT_DOUBLE_EQ(g.integral(10.0), 2.0 * 5.0 + 4.0 * 5.0);
+}
+
+TEST(IntegratedGauge, AddIsRelative) {
+  IntegratedGauge g(0.0);
+  g.add(0.0, 3.0);
+  g.add(2.0, -1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.integral(4.0), 3.0 * 2.0 + 2.0 * 2.0);
+}
+
+TEST(IntegratedGauge, NegativeValueThrows) {
+  IntegratedGauge g(0.0);
+  EXPECT_THROW(g.set(1.0, -0.5), ContractError);
+}
+
+TEST(IntegratedGauge, TimeMustNotDecrease) {
+  IntegratedGauge g(5.0);
+  EXPECT_THROW(g.set(4.0, 1.0), ContractError);
+}
+
+TEST(IntegratedGauge, InitialValueCounts) {
+  IntegratedGauge g(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(g.integral(3.0), 30.0);
+}
+
+}  // namespace
+}  // namespace amoeba::stats

@@ -1,0 +1,109 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace amoeba::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.0, 5);
+  EXPECT_EQ(h.count(3), 5u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, QuantileApproximatesExact) {
+  Histogram h(0.0, 1.0, 1000);
+  sim::Rng rng(11);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.01);
+  EXPECT_NEAR(h.quantile(0.95), 0.95, 0.01);
+}
+
+TEST(Histogram, QuantileRequiresSamples) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), ContractError);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(2), 0u);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);
+}
+
+TEST(LogHistogram, SpansDecades) {
+  LogHistogram h(1e-3, 1e3, 10);
+  h.add(0.01);
+  h.add(1.0);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LogHistogram, QuantileApproximatesLognormal) {
+  LogHistogram h(1e-4, 1e2, 50);
+  sim::Rng rng(13);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal_mean_cv(0.1, 0.8);
+    h.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact95 =
+      all[static_cast<std::size_t>(0.95 * static_cast<double>(all.size()))];
+  EXPECT_NEAR(h.quantile(0.95) / exact95, 1.0, 0.1);
+}
+
+TEST(LogHistogram, NonPositiveValuesUnderflow) {
+  LogHistogram h(1e-3, 1e3, 10);
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);  // min seen
+}
+
+TEST(LogHistogram, InvalidConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 10), ContractError);
+  EXPECT_THROW(LogHistogram(1.0, 0.5, 10), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::stats

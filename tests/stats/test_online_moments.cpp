@@ -1,0 +1,78 @@
+#include "stats/online_moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace amoeba::stats {
+namespace {
+
+TEST(OnlineMoments, MeanAndVarianceExactSmall) {
+  OnlineMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineMoments, RequiresSamples) {
+  OnlineMoments m;
+  EXPECT_THROW((void)m.mean(), ContractError);
+  m.add(1.0);
+  EXPECT_THROW((void)m.variance(), ContractError);
+}
+
+TEST(OnlineMoments, MatchesDistributionMoments) {
+  OnlineMoments m;
+  sim::Rng rng(4);
+  for (int i = 0; i < 100000; ++i) m.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(m.mean(), 3.0, 0.05);
+  EXPECT_NEAR(m.stddev(), 2.0, 0.05);
+}
+
+TEST(OnlineMoments, ResetClears) {
+  OnlineMoments m;
+  m.add(5.0);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(OnlineCovariance, DiagonalIsVariance) {
+  OnlineCovariance c(2);
+  OnlineMoments m;
+  sim::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    c.add({x, 2.0 * x});
+    m.add(x);
+  }
+  EXPECT_NEAR(c.covariance(0, 0), m.variance(), 1e-9);
+  EXPECT_NEAR(c.covariance(1, 1), 4.0 * m.variance(), 1e-9);
+}
+
+TEST(OnlineCovariance, PerfectLinearCorrelation) {
+  OnlineCovariance c(2);
+  sim::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    c.add({x, 3.0 * x + 1.0});
+  }
+  EXPECT_NEAR(c.covariance(0, 1), 3.0 * c.covariance(0, 0), 1e-9);
+  EXPECT_NEAR(c.covariance(0, 1), c.covariance(1, 0), 1e-12);
+}
+
+TEST(OnlineCovariance, IndependentDimensionsNearZero) {
+  OnlineCovariance c(2);
+  sim::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    c.add({rng.uniform(), rng.uniform()});
+  }
+  EXPECT_NEAR(c.covariance(0, 1), 0.0, 0.002);
+}
+
+TEST(OnlineCovariance, DimensionMismatchThrows) {
+  OnlineCovariance c(3);
+  EXPECT_THROW(c.add({1.0, 2.0}), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::stats

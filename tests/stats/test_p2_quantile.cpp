@@ -1,0 +1,83 @@
+#include "stats/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "stats/percentile.hpp"
+
+namespace amoeba::stats {
+namespace {
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // interpolated median of {1,3}
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), ContractError);
+  EXPECT_THROW(P2Quantile(1.0), ContractError);
+}
+
+TEST(P2Quantile, ValueRequiresSamples) {
+  P2Quantile q(0.9);
+  EXPECT_THROW((void)q.value(), ContractError);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksUniformDistribution) {
+  const double target = GetParam();
+  P2Quantile p2(target);
+  sim::Rng rng(42);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform();
+    p2.add(x);
+    all.push_back(x);
+  }
+  const double exact = percentile(all, target);
+  EXPECT_NEAR(p2.value(), exact, 0.01) << "quantile " << target;
+}
+
+TEST_P(P2Accuracy, TracksExponentialDistribution) {
+  const double target = GetParam();
+  P2Quantile p2(target);
+  sim::Rng rng(43);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential(2.0);
+    p2.add(x);
+    all.push_back(x);
+  }
+  const double exact = percentile(all, target);
+  // Relative tolerance: exponential tails are wider.
+  EXPECT_NEAR(p2.value(), exact, 0.05 * exact + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.95,
+                                           0.99));
+
+TEST(P2Quantile, ResetClearsState) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100; ++i) q.add(static_cast<double>(i));
+  q.reset();
+  EXPECT_EQ(q.count(), 0u);
+  q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.value(), 7.0);
+}
+
+TEST(P2Quantile, MonotoneShiftDetected) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 1000; ++i) q.add(1.0 + (i % 3) * 0.001);
+  for (int i = 0; i < 5000; ++i) q.add(10.0 + (i % 3) * 0.001);
+  EXPECT_GT(q.value(), 5.0);  // estimator follows the new regime
+}
+
+}  // namespace
+}  // namespace amoeba::stats

@@ -1,0 +1,106 @@
+#include "stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace amoeba::stats {
+namespace {
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // R-7 on {1,2,3,4}: q=0.5 -> 2.5.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  std::vector<double> v = {5.0, -2.0, 9.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.95), 42.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW((void)percentile({}, 0.5), ContractError);
+  EXPECT_THROW((void)percentile({1.0}, -0.1), ContractError);
+  EXPECT_THROW((void)percentile({1.0}, 1.1), ContractError);
+}
+
+TEST(SampleSet, BasicStatistics) {
+  SampleSet s;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.5);
+}
+
+TEST(SampleSet, QuantileMatchesFreeFunction) {
+  sim::Rng rng(5);
+  SampleSet s;
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    s.add(x);
+    v.push_back(x);
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), percentile(v, q)) << "q=" << q;
+  }
+}
+
+TEST(SampleSet, CdfAtCountsInclusive) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSet, FractionAboveThreshold) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.fraction_above(95.0), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(100.0), 0.0);
+}
+
+TEST(SampleSet, CdfCurveIsMonotone) {
+  sim::Rng rng(6);
+  SampleSet s;
+  for (int i = 0; i < 500; ++i) s.add(rng.exponential(1.0));
+  const auto curve = s.cdf_curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GT(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(SampleSet, AddAfterQueryInvalidatesCache) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleSet, ClearResets) {
+  SampleSet s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace amoeba::stats

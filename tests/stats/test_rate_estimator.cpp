@@ -1,0 +1,75 @@
+#include "stats/rate_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace amoeba::stats {
+namespace {
+
+TEST(RateEstimator, CountsArrivalsInWindow) {
+  RateEstimator r(10.0);
+  for (int i = 0; i < 20; ++i) r.record(static_cast<double>(i));
+  // At t=19.5 the window (9.5, 19.5] holds arrivals 10..19.
+  EXPECT_EQ(r.count_in_window(19.5), 10u);
+  EXPECT_DOUBLE_EQ(r.rate(19.5), 1.0);
+}
+
+TEST(RateEstimator, EmptyWindowIsZero) {
+  RateEstimator r(5.0);
+  EXPECT_DOUBLE_EQ(r.rate(100.0), 0.0);
+  r.record(1.0);
+  EXPECT_DOUBLE_EQ(r.rate(100.0), 0.0);  // long expired
+}
+
+TEST(RateEstimator, PoissonRateRecovered) {
+  RateEstimator r(50.0);
+  sim::Rng rng(3);
+  double t = 0.0;
+  const double lambda = 8.0;
+  while (t < 200.0) {
+    t += rng.exponential(lambda);
+    r.record(t);
+  }
+  EXPECT_NEAR(r.rate(200.0), lambda, 1.0);
+}
+
+TEST(RateEstimator, NonMonotoneThrows) {
+  RateEstimator r(5.0);
+  r.record(2.0);
+  EXPECT_THROW(r.record(1.0), ContractError);
+}
+
+TEST(RateEstimator, BoundaryArrivalExcludedExactlyAtWindowEdge) {
+  RateEstimator r(10.0);
+  r.record(0.0);
+  EXPECT_EQ(r.count_in_window(10.0), 0u);  // (0, 10] excludes t=0
+  RateEstimator r2(10.0);
+  r2.record(0.001);
+  EXPECT_EQ(r2.count_in_window(10.0), 1u);
+}
+
+TEST(EwmaRate, FirstObservationPrimes) {
+  EwmaRate e(10.0);
+  EXPECT_FALSE(e.primed());
+  e.observe(0.0, 5.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(EwmaRate, HalfLifeSemantics) {
+  EwmaRate e(10.0);
+  e.observe(0.0, 0.0);
+  e.observe(10.0, 1.0);  // one half-life: move half-way
+  EXPECT_NEAR(e.value(), 0.5, 1e-12);
+}
+
+TEST(EwmaRate, ConvergesToConstant) {
+  EwmaRate e(1.0);
+  e.observe(0.0, 0.0);
+  for (int i = 1; i <= 100; ++i) e.observe(static_cast<double>(i), 7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace amoeba::stats

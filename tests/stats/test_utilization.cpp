@@ -1,0 +1,71 @@
+#include "stats/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::stats {
+namespace {
+
+TEST(Utilization, ConstantSignal) {
+  UtilizationTracker u(10.0, 1.0);
+  u.set(0.0, 5.0);
+  u.finish(10.0);
+  EXPECT_DOUBLE_EQ(u.average(), 0.5);
+  EXPECT_DOUBLE_EQ(u.window_min(), 0.5);
+  EXPECT_DOUBLE_EQ(u.window_max(), 0.5);
+  EXPECT_EQ(u.windows().size(), 10u);
+}
+
+TEST(Utilization, StepSignalWindowExtremes) {
+  UtilizationTracker u(10.0, 1.0);
+  u.set(0.0, 0.0);
+  u.set(5.0, 10.0);
+  u.finish(10.0);
+  EXPECT_DOUBLE_EQ(u.average(), 0.5);
+  EXPECT_DOUBLE_EQ(u.window_min(), 0.0);
+  EXPECT_DOUBLE_EQ(u.window_max(), 1.0);
+}
+
+TEST(Utilization, ChangeInsideWindowWeighted) {
+  UtilizationTracker u(4.0, 2.0);
+  u.set(0.0, 0.0);
+  u.set(1.0, 4.0);  // half the first window at 0, half at full
+  u.finish(2.0);
+  ASSERT_EQ(u.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(u.windows()[0], 0.5);
+}
+
+TEST(Utilization, PartialTrailingWindowIncludedWhenLong) {
+  UtilizationTracker u(1.0, 10.0);
+  u.set(0.0, 1.0);
+  u.finish(16.0);  // one full window + 6 s partial (> half)
+  EXPECT_EQ(u.windows().size(), 2u);
+}
+
+TEST(Utilization, PartialTrailingWindowDroppedWhenShort) {
+  UtilizationTracker u(1.0, 10.0);
+  u.set(0.0, 1.0);
+  u.finish(13.0);  // partial 3 s (< half) dropped
+  EXPECT_EQ(u.windows().size(), 1u);
+}
+
+TEST(Utilization, NonMonotoneTimestampsThrow) {
+  UtilizationTracker u(1.0, 1.0);
+  u.set(5.0, 1.0);
+  EXPECT_THROW(u.set(4.0, 1.0), ContractError);
+}
+
+TEST(Utilization, SetAfterFinishThrows) {
+  UtilizationTracker u(1.0, 1.0);
+  u.set(0.0, 1.0);
+  u.finish(2.0);
+  EXPECT_THROW(u.set(3.0, 1.0), ContractError);
+}
+
+TEST(Utilization, AverageRequiresFinish) {
+  UtilizationTracker u(1.0, 1.0);
+  u.set(0.0, 1.0);
+  EXPECT_THROW((void)u.average(), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::stats

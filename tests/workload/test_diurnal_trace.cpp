@@ -1,0 +1,105 @@
+#include "workload/diurnal_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace amoeba::workload {
+namespace {
+
+DiurnalTraceConfig base_config() {
+  DiurnalTraceConfig cfg;
+  cfg.period_s = 1000.0;
+  cfg.peak_qps = 100.0;
+  cfg.trough_fraction = 0.25;
+  return cfg;
+}
+
+TEST(DiurnalTrace, PeakAndTroughRespected) {
+  DiurnalTrace trace(base_config());
+  const auto day = trace.sample_day(500);
+  const double mx = *std::max_element(day.begin(), day.end());
+  const double mn = *std::min_element(day.begin(), day.end());
+  EXPECT_NEAR(mx, 100.0, 1.0);          // reaches the peak
+  EXPECT_NEAR(mn, 25.0, 1.0);           // trough at 25% (paper: < 30%)
+  EXPECT_LT(mn / mx, 0.30);
+}
+
+TEST(DiurnalTrace, TwoRushesPresent) {
+  DiurnalTrace trace(base_config());
+  const auto day = trace.sample_day(1000);
+  // Count local maxima above 60% of peak with some hysteresis.
+  int rushes = 0;
+  bool in_rush = false;
+  for (double v : day) {
+    if (!in_rush && v > 60.0) {
+      ++rushes;
+      in_rush = true;
+    } else if (in_rush && v < 40.0) {
+      in_rush = false;
+    }
+  }
+  EXPECT_EQ(rushes, 2);
+}
+
+TEST(DiurnalTrace, PeriodicAcrossDays) {
+  DiurnalTrace trace(base_config());
+  for (double t : {10.0, 250.0, 600.0, 999.0}) {
+    EXPECT_NEAR(trace.base_rate(t), trace.base_rate(t + 1000.0), 1e-9);
+    EXPECT_NEAR(trace.base_rate(t), trace.base_rate(t + 5000.0), 1e-9);
+  }
+}
+
+TEST(DiurnalTrace, PhaseShiftsPattern) {
+  auto cfg = base_config();
+  DiurnalTrace a(cfg);
+  cfg.phase = 0.5;
+  DiurnalTrace b(cfg);
+  EXPECT_NEAR(a.base_rate(0.0), b.base_rate(500.0), 1e-9);
+}
+
+TEST(DiurnalTrace, NoiseStaysUnderDeclaredBound) {
+  auto cfg = base_config();
+  cfg.noise_cv = 0.3;
+  DiurnalTrace trace(cfg, 7);
+  for (int i = 0; i < 2000; ++i) {
+    const double t = i * 0.77;
+    EXPECT_LE(trace.rate(t), trace.max_rate() * (1.0 + 1e-12));
+    EXPECT_GE(trace.rate(t), 0.0);
+  }
+}
+
+TEST(DiurnalTrace, NoiseFreeRateEqualsBaseRate) {
+  DiurnalTrace trace(base_config());
+  for (double t : {1.0, 123.0, 789.0}) {
+    EXPECT_DOUBLE_EQ(trace.rate(t), trace.base_rate(t));
+  }
+}
+
+TEST(DiurnalTrace, NoiseIsDeterministicPerSeed) {
+  auto cfg = base_config();
+  cfg.noise_cv = 0.2;
+  DiurnalTrace a(cfg, 11), b(cfg, 11), c(cfg, 12);
+  EXPECT_DOUBLE_EQ(a.rate(123.0), b.rate(123.0));
+  EXPECT_NE(a.rate(123.0), c.rate(123.0));
+}
+
+TEST(DiurnalTrace, ConfigValidation) {
+  auto cfg = base_config();
+  cfg.trough_fraction = 0.0;
+  EXPECT_THROW(DiurnalTrace{cfg}, ContractError);
+  cfg = base_config();
+  cfg.peak_width = 0.6;
+  EXPECT_THROW(DiurnalTrace{cfg}, ContractError);
+  cfg = base_config();
+  cfg.period_s = -1.0;
+  EXPECT_THROW(DiurnalTrace{cfg}, ContractError);
+}
+
+TEST(DiurnalTrace, SampleDayRequiresTwoPoints) {
+  DiurnalTrace trace(base_config());
+  EXPECT_THROW((void)trace.sample_day(1), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::workload

@@ -1,0 +1,99 @@
+#include "workload/function_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amoeba::workload {
+namespace {
+
+FunctionProfile valid_profile() {
+  FunctionProfile p;
+  p.name = "svc";
+  p.exec = {.cpu_seconds = 0.1, .io_bytes = 1e6, .net_bytes = 2e6};
+  p.code_bytes = 1e6;
+  p.result_bytes = 1e4;
+  p.platform_overhead_s = 0.01;
+  p.rpc_overhead_s = 0.002;
+  p.memory_mb = 256.0;
+  p.qos_target_s = 0.5;
+  p.peak_load_qps = 50.0;
+  return p;
+}
+
+TEST(FunctionProfile, ValidProfilePasses) {
+  EXPECT_NO_THROW(valid_profile().validate());
+}
+
+TEST(FunctionProfile, RejectsInvalidFields) {
+  auto p = valid_profile();
+  p.name.clear();
+  EXPECT_THROW(p.validate(), ContractError);
+
+  p = valid_profile();
+  p.exec.cpu_seconds = -1.0;
+  EXPECT_THROW(p.validate(), ContractError);
+
+  p = valid_profile();
+  p.memory_mb = 0.0;
+  EXPECT_THROW(p.validate(), ContractError);
+
+  p = valid_profile();
+  p.qos_target_s = 0.0;
+  EXPECT_THROW(p.validate(), ContractError);
+
+  p = valid_profile();
+  p.peak_load_qps = -5.0;
+  EXPECT_THROW(p.validate(), ContractError);
+}
+
+TEST(FunctionProfile, IdealServerlessLatencySumsPhases) {
+  auto p = valid_profile();
+  const double disk = 1e9, net = 1e9;
+  const double expected = 0.01 + 1e6 / disk + 0.1 + 1e6 / disk + 2e6 / net +
+                          1e4 / net;
+  EXPECT_NEAR(p.ideal_serverless_latency(disk, net), expected, 1e-12);
+}
+
+TEST(FunctionProfile, IdealIaasLatencyExcludesServerlessOverheads) {
+  auto p = valid_profile();
+  const double disk = 1e9, net = 1e9;
+  const double expected = 0.002 + 0.1 + 1e6 / disk + 2e6 / net;
+  EXPECT_NEAR(p.ideal_iaas_latency(disk, net), expected, 1e-12);
+  EXPECT_LT(p.ideal_iaas_latency(disk, net),
+            p.ideal_serverless_latency(disk, net));
+}
+
+TEST(FunctionProfile, IdealLatencyRequiresPositiveRates) {
+  auto p = valid_profile();
+  EXPECT_THROW((void)p.ideal_serverless_latency(0.0, 1.0), ContractError);
+  EXPECT_THROW((void)p.ideal_iaas_latency(1.0, -1.0), ContractError);
+}
+
+TEST(Sensitivity, CpuBoundClassifiesHighCpu) {
+  FunctionProfile p = valid_profile();
+  p.exec = {.cpu_seconds = 1.0, .io_bytes = 0.0, .net_bytes = 0.0};
+  p.code_bytes = 0.0;
+  p.result_bytes = 0.0;
+  const auto v = classify_sensitivity(p, 1e9, 1e9);
+  EXPECT_EQ(v.cpu, Sensitivity::kHigh);
+  EXPECT_EQ(v.memory, Sensitivity::kHigh);
+  EXPECT_EQ(v.disk_io, Sensitivity::kNone);
+  EXPECT_EQ(v.network, Sensitivity::kNone);
+}
+
+TEST(Sensitivity, IoBoundClassifiesHighIo) {
+  FunctionProfile p = valid_profile();
+  p.exec = {.cpu_seconds = 0.01, .io_bytes = 1e9, .net_bytes = 0.0};
+  p.code_bytes = 0.0;
+  const auto v = classify_sensitivity(p, 1e9, 1e9);
+  EXPECT_EQ(v.disk_io, Sensitivity::kHigh);
+}
+
+TEST(Sensitivity, ToStringNames) {
+  EXPECT_STREQ(to_string(Sensitivity::kNone), "-");
+  EXPECT_STREQ(to_string(Sensitivity::kLow), "low");
+  EXPECT_STREQ(to_string(Sensitivity::kMedium), "medium");
+  EXPECT_STREQ(to_string(Sensitivity::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace amoeba::workload
