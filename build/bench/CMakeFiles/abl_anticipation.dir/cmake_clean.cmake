@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_anticipation.dir/abl_anticipation.cpp.o"
+  "CMakeFiles/abl_anticipation.dir/abl_anticipation.cpp.o.d"
+  "abl_anticipation"
+  "abl_anticipation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_anticipation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prewarm_headroom.dir/abl_prewarm_headroom.cpp.o"
+  "CMakeFiles/abl_prewarm_headroom.dir/abl_prewarm_headroom.cpp.o.d"
+  "abl_prewarm_headroom"
+  "abl_prewarm_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prewarm_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_prewarm_headroom.
+# This may be replaced when dependencies are built.

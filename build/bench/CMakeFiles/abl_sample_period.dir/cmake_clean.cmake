@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sample_period.dir/abl_sample_period.cpp.o"
+  "CMakeFiles/abl_sample_period.dir/abl_sample_period.cpp.o.d"
+  "abl_sample_period"
+  "abl_sample_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sample_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_switch_margins.dir/abl_switch_margins.cpp.o"
+  "CMakeFiles/abl_switch_margins.dir/abl_switch_margins.cpp.o.d"
+  "abl_switch_margins"
+  "abl_switch_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_switch_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_peak_load.dir/fig03_peak_load.cpp.o"
+  "CMakeFiles/fig03_peak_load.dir/fig03_peak_load.cpp.o.d"
+  "fig03_peak_load"
+  "fig03_peak_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_peak_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

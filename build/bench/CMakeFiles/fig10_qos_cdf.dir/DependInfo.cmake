@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_qos_cdf.cpp" "bench/CMakeFiles/fig10_qos_cdf.dir/fig10_qos_cdf.cpp.o" "gcc" "bench/CMakeFiles/fig10_qos_cdf.dir/fig10_qos_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_iaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

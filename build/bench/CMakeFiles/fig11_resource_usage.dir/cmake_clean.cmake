@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resource_usage.dir/fig11_resource_usage.cpp.o"
+  "CMakeFiles/fig11_resource_usage.dir/fig11_resource_usage.cpp.o.d"
+  "fig11_resource_usage"
+  "fig11_resource_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

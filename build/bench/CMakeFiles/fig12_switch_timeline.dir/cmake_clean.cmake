@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_switch_timeline.dir/fig12_switch_timeline.cpp.o"
+  "CMakeFiles/fig12_switch_timeline.dir/fig12_switch_timeline.cpp.o.d"
+  "fig12_switch_timeline"
+  "fig12_switch_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_switch_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

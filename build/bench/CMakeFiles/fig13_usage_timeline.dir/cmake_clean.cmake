@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_usage_timeline.dir/fig13_usage_timeline.cpp.o"
+  "CMakeFiles/fig13_usage_timeline.dir/fig13_usage_timeline.cpp.o.d"
+  "fig13_usage_timeline"
+  "fig13_usage_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_usage_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

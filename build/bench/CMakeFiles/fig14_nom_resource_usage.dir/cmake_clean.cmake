@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nom_resource_usage.dir/fig14_nom_resource_usage.cpp.o"
+  "CMakeFiles/fig14_nom_resource_usage.dir/fig14_nom_resource_usage.cpp.o.d"
+  "fig14_nom_resource_usage"
+  "fig14_nom_resource_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nom_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_discriminant_error.dir/fig15_discriminant_error.cpp.o"
+  "CMakeFiles/fig15_discriminant_error.dir/fig15_discriminant_error.cpp.o.d"
+  "fig15_discriminant_error"
+  "fig15_discriminant_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_discriminant_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_nop_qos_violation.dir/fig16_nop_qos_violation.cpp.o"
+  "CMakeFiles/fig16_nop_qos_violation.dir/fig16_nop_qos_violation.cpp.o.d"
+  "fig16_nop_qos_violation"
+  "fig16_nop_qos_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_nop_qos_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kernels.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_kernels.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_kernels.cpp.o.d"
+  "/root/repo/bench/micro_linalg.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_linalg.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_linalg.cpp.o.d"
+  "/root/repo/bench/micro_queueing.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_queueing.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_queueing.cpp.o.d"
+  "/root/repo/bench/micro_simulator.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_simulator.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_iaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

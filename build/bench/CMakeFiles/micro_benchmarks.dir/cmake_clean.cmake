@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_benchmarks.dir/micro_kernels.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_kernels.cpp.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_linalg.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_linalg.cpp.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_queueing.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_queueing.cpp.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_simulator.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_simulator.cpp.o.d"
+  "micro_benchmarks"
+  "micro_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_sensitivity.dir/tab03_sensitivity.cpp.o"
+  "CMakeFiles/tab03_sensitivity.dir/tab03_sensitivity.cpp.o.d"
+  "tab03_sensitivity"
+  "tab03_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overhead_meters.dir/tab_overhead_meters.cpp.o"
+  "CMakeFiles/tab_overhead_meters.dir/tab_overhead_meters.cpp.o.d"
+  "tab_overhead_meters"
+  "tab_overhead_meters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead_meters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

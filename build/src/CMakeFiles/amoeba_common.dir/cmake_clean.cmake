@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_common.dir/common/assert.cpp.o"
+  "CMakeFiles/amoeba_common.dir/common/assert.cpp.o.d"
+  "libamoeba_common.a"
+  "libamoeba_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

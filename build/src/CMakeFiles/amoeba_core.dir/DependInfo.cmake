@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amoeba.cpp" "src/CMakeFiles/amoeba_core.dir/core/amoeba.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/amoeba.cpp.o.d"
+  "/root/repo/src/core/contention_monitor.cpp" "src/CMakeFiles/amoeba_core.dir/core/contention_monitor.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/contention_monitor.cpp.o.d"
+  "/root/repo/src/core/deployment_controller.cpp" "src/CMakeFiles/amoeba_core.dir/core/deployment_controller.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/deployment_controller.cpp.o.d"
+  "/root/repo/src/core/hybrid_engine.cpp" "src/CMakeFiles/amoeba_core.dir/core/hybrid_engine.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/hybrid_engine.cpp.o.d"
+  "/root/repo/src/core/latency_surface.cpp" "src/CMakeFiles/amoeba_core.dir/core/latency_surface.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/latency_surface.cpp.o.d"
+  "/root/repo/src/core/meter_curve.cpp" "src/CMakeFiles/amoeba_core.dir/core/meter_curve.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/meter_curve.cpp.o.d"
+  "/root/repo/src/core/prewarm_policy.cpp" "src/CMakeFiles/amoeba_core.dir/core/prewarm_policy.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/prewarm_policy.cpp.o.d"
+  "/root/repo/src/core/queueing.cpp" "src/CMakeFiles/amoeba_core.dir/core/queueing.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/queueing.cpp.o.d"
+  "/root/repo/src/core/resource_accounting.cpp" "src/CMakeFiles/amoeba_core.dir/core/resource_accounting.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/resource_accounting.cpp.o.d"
+  "/root/repo/src/core/sample_period.cpp" "src/CMakeFiles/amoeba_core.dir/core/sample_period.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/sample_period.cpp.o.d"
+  "/root/repo/src/core/weight_estimator.cpp" "src/CMakeFiles/amoeba_core.dir/core/weight_estimator.cpp.o" "gcc" "src/CMakeFiles/amoeba_core.dir/core/weight_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_iaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_core.dir/core/amoeba.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/amoeba.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/contention_monitor.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/contention_monitor.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/deployment_controller.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/deployment_controller.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/hybrid_engine.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/hybrid_engine.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/latency_surface.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/latency_surface.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/meter_curve.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/meter_curve.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/prewarm_policy.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/prewarm_policy.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/queueing.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/queueing.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/resource_accounting.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/resource_accounting.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/sample_period.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/sample_period.cpp.o.d"
+  "CMakeFiles/amoeba_core.dir/core/weight_estimator.cpp.o"
+  "CMakeFiles/amoeba_core.dir/core/weight_estimator.cpp.o.d"
+  "libamoeba_core.a"
+  "libamoeba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

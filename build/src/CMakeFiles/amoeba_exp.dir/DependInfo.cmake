@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/artifact_cache.cpp" "src/CMakeFiles/amoeba_exp.dir/exp/artifact_cache.cpp.o" "gcc" "src/CMakeFiles/amoeba_exp.dir/exp/artifact_cache.cpp.o.d"
+  "/root/repo/src/exp/profiling.cpp" "src/CMakeFiles/amoeba_exp.dir/exp/profiling.cpp.o" "gcc" "src/CMakeFiles/amoeba_exp.dir/exp/profiling.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/CMakeFiles/amoeba_exp.dir/exp/scenario.cpp.o" "gcc" "src/CMakeFiles/amoeba_exp.dir/exp/scenario.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/CMakeFiles/amoeba_exp.dir/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/amoeba_exp.dir/exp/sweep.cpp.o.d"
+  "/root/repo/src/exp/table.cpp" "src/CMakeFiles/amoeba_exp.dir/exp/table.cpp.o" "gcc" "src/CMakeFiles/amoeba_exp.dir/exp/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_iaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

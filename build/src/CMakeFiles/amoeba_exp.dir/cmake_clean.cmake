@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_exp.dir/exp/artifact_cache.cpp.o"
+  "CMakeFiles/amoeba_exp.dir/exp/artifact_cache.cpp.o.d"
+  "CMakeFiles/amoeba_exp.dir/exp/profiling.cpp.o"
+  "CMakeFiles/amoeba_exp.dir/exp/profiling.cpp.o.d"
+  "CMakeFiles/amoeba_exp.dir/exp/scenario.cpp.o"
+  "CMakeFiles/amoeba_exp.dir/exp/scenario.cpp.o.d"
+  "CMakeFiles/amoeba_exp.dir/exp/sweep.cpp.o"
+  "CMakeFiles/amoeba_exp.dir/exp/sweep.cpp.o.d"
+  "CMakeFiles/amoeba_exp.dir/exp/table.cpp.o"
+  "CMakeFiles/amoeba_exp.dir/exp/table.cpp.o.d"
+  "libamoeba_exp.a"
+  "libamoeba_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

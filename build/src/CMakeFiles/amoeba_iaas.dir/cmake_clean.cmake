@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_iaas.dir/iaas/platform.cpp.o"
+  "CMakeFiles/amoeba_iaas.dir/iaas/platform.cpp.o.d"
+  "CMakeFiles/amoeba_iaas.dir/iaas/vm.cpp.o"
+  "CMakeFiles/amoeba_iaas.dir/iaas/vm.cpp.o.d"
+  "libamoeba_iaas.a"
+  "libamoeba_iaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_iaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cloud_stor.cpp" "src/CMakeFiles/amoeba_kernels.dir/kernels/cloud_stor.cpp.o" "gcc" "src/CMakeFiles/amoeba_kernels.dir/kernels/cloud_stor.cpp.o.d"
+  "/root/repo/src/kernels/dd_io.cpp" "src/CMakeFiles/amoeba_kernels.dir/kernels/dd_io.cpp.o" "gcc" "src/CMakeFiles/amoeba_kernels.dir/kernels/dd_io.cpp.o.d"
+  "/root/repo/src/kernels/float_op.cpp" "src/CMakeFiles/amoeba_kernels.dir/kernels/float_op.cpp.o" "gcc" "src/CMakeFiles/amoeba_kernels.dir/kernels/float_op.cpp.o.d"
+  "/root/repo/src/kernels/linpack.cpp" "src/CMakeFiles/amoeba_kernels.dir/kernels/linpack.cpp.o" "gcc" "src/CMakeFiles/amoeba_kernels.dir/kernels/linpack.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/CMakeFiles/amoeba_kernels.dir/kernels/matmul.cpp.o" "gcc" "src/CMakeFiles/amoeba_kernels.dir/kernels/matmul.cpp.o.d"
+  "/root/repo/src/kernels/native_meters.cpp" "src/CMakeFiles/amoeba_kernels.dir/kernels/native_meters.cpp.o" "gcc" "src/CMakeFiles/amoeba_kernels.dir/kernels/native_meters.cpp.o.d"
+  "/root/repo/src/kernels/thread_pool.cpp" "src/CMakeFiles/amoeba_kernels.dir/kernels/thread_pool.cpp.o" "gcc" "src/CMakeFiles/amoeba_kernels.dir/kernels/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_kernels.dir/kernels/cloud_stor.cpp.o"
+  "CMakeFiles/amoeba_kernels.dir/kernels/cloud_stor.cpp.o.d"
+  "CMakeFiles/amoeba_kernels.dir/kernels/dd_io.cpp.o"
+  "CMakeFiles/amoeba_kernels.dir/kernels/dd_io.cpp.o.d"
+  "CMakeFiles/amoeba_kernels.dir/kernels/float_op.cpp.o"
+  "CMakeFiles/amoeba_kernels.dir/kernels/float_op.cpp.o.d"
+  "CMakeFiles/amoeba_kernels.dir/kernels/linpack.cpp.o"
+  "CMakeFiles/amoeba_kernels.dir/kernels/linpack.cpp.o.d"
+  "CMakeFiles/amoeba_kernels.dir/kernels/matmul.cpp.o"
+  "CMakeFiles/amoeba_kernels.dir/kernels/matmul.cpp.o.d"
+  "CMakeFiles/amoeba_kernels.dir/kernels/native_meters.cpp.o"
+  "CMakeFiles/amoeba_kernels.dir/kernels/native_meters.cpp.o.d"
+  "CMakeFiles/amoeba_kernels.dir/kernels/thread_pool.cpp.o"
+  "CMakeFiles/amoeba_kernels.dir/kernels/thread_pool.cpp.o.d"
+  "libamoeba_kernels.a"
+  "libamoeba_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_linalg.dir/linalg/jacobi_eigen.cpp.o"
+  "CMakeFiles/amoeba_linalg.dir/linalg/jacobi_eigen.cpp.o.d"
+  "CMakeFiles/amoeba_linalg.dir/linalg/least_squares.cpp.o"
+  "CMakeFiles/amoeba_linalg.dir/linalg/least_squares.cpp.o.d"
+  "CMakeFiles/amoeba_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/amoeba_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/amoeba_linalg.dir/linalg/pca.cpp.o"
+  "CMakeFiles/amoeba_linalg.dir/linalg/pca.cpp.o.d"
+  "libamoeba_linalg.a"
+  "libamoeba_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

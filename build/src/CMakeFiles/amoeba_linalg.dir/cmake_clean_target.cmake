@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamoeba_linalg.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serverless/container.cpp" "src/CMakeFiles/amoeba_serverless.dir/serverless/container.cpp.o" "gcc" "src/CMakeFiles/amoeba_serverless.dir/serverless/container.cpp.o.d"
+  "/root/repo/src/serverless/container_pool.cpp" "src/CMakeFiles/amoeba_serverless.dir/serverless/container_pool.cpp.o" "gcc" "src/CMakeFiles/amoeba_serverless.dir/serverless/container_pool.cpp.o.d"
+  "/root/repo/src/serverless/invocation.cpp" "src/CMakeFiles/amoeba_serverless.dir/serverless/invocation.cpp.o" "gcc" "src/CMakeFiles/amoeba_serverless.dir/serverless/invocation.cpp.o.d"
+  "/root/repo/src/serverless/platform.cpp" "src/CMakeFiles/amoeba_serverless.dir/serverless/platform.cpp.o" "gcc" "src/CMakeFiles/amoeba_serverless.dir/serverless/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_serverless.dir/serverless/container.cpp.o"
+  "CMakeFiles/amoeba_serverless.dir/serverless/container.cpp.o.d"
+  "CMakeFiles/amoeba_serverless.dir/serverless/container_pool.cpp.o"
+  "CMakeFiles/amoeba_serverless.dir/serverless/container_pool.cpp.o.d"
+  "CMakeFiles/amoeba_serverless.dir/serverless/invocation.cpp.o"
+  "CMakeFiles/amoeba_serverless.dir/serverless/invocation.cpp.o.d"
+  "CMakeFiles/amoeba_serverless.dir/serverless/platform.cpp.o"
+  "CMakeFiles/amoeba_serverless.dir/serverless/platform.cpp.o.d"
+  "libamoeba_serverless.a"
+  "libamoeba_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

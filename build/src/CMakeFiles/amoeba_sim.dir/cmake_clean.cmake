@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_sim.dir/sim/counting_resource.cpp.o"
+  "CMakeFiles/amoeba_sim.dir/sim/counting_resource.cpp.o.d"
+  "CMakeFiles/amoeba_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/amoeba_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/amoeba_sim.dir/sim/fair_share.cpp.o"
+  "CMakeFiles/amoeba_sim.dir/sim/fair_share.cpp.o.d"
+  "CMakeFiles/amoeba_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/amoeba_sim.dir/sim/random.cpp.o.d"
+  "libamoeba_sim.a"
+  "libamoeba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

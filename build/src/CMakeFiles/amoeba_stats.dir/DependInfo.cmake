@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/amoeba_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/amoeba_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/online_moments.cpp" "src/CMakeFiles/amoeba_stats.dir/stats/online_moments.cpp.o" "gcc" "src/CMakeFiles/amoeba_stats.dir/stats/online_moments.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/CMakeFiles/amoeba_stats.dir/stats/p2_quantile.cpp.o" "gcc" "src/CMakeFiles/amoeba_stats.dir/stats/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/CMakeFiles/amoeba_stats.dir/stats/percentile.cpp.o" "gcc" "src/CMakeFiles/amoeba_stats.dir/stats/percentile.cpp.o.d"
+  "/root/repo/src/stats/rate_estimator.cpp" "src/CMakeFiles/amoeba_stats.dir/stats/rate_estimator.cpp.o" "gcc" "src/CMakeFiles/amoeba_stats.dir/stats/rate_estimator.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/amoeba_stats.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/amoeba_stats.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/stats/utilization.cpp" "src/CMakeFiles/amoeba_stats.dir/stats/utilization.cpp.o" "gcc" "src/CMakeFiles/amoeba_stats.dir/stats/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/amoeba_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/amoeba_stats.dir/stats/online_moments.cpp.o"
+  "CMakeFiles/amoeba_stats.dir/stats/online_moments.cpp.o.d"
+  "CMakeFiles/amoeba_stats.dir/stats/p2_quantile.cpp.o"
+  "CMakeFiles/amoeba_stats.dir/stats/p2_quantile.cpp.o.d"
+  "CMakeFiles/amoeba_stats.dir/stats/percentile.cpp.o"
+  "CMakeFiles/amoeba_stats.dir/stats/percentile.cpp.o.d"
+  "CMakeFiles/amoeba_stats.dir/stats/rate_estimator.cpp.o"
+  "CMakeFiles/amoeba_stats.dir/stats/rate_estimator.cpp.o.d"
+  "CMakeFiles/amoeba_stats.dir/stats/timeseries.cpp.o"
+  "CMakeFiles/amoeba_stats.dir/stats/timeseries.cpp.o.d"
+  "CMakeFiles/amoeba_stats.dir/stats/utilization.cpp.o"
+  "CMakeFiles/amoeba_stats.dir/stats/utilization.cpp.o.d"
+  "libamoeba_stats.a"
+  "libamoeba_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

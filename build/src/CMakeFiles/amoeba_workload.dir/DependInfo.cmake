@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/diurnal_trace.cpp" "src/CMakeFiles/amoeba_workload.dir/workload/diurnal_trace.cpp.o" "gcc" "src/CMakeFiles/amoeba_workload.dir/workload/diurnal_trace.cpp.o.d"
+  "/root/repo/src/workload/function_profile.cpp" "src/CMakeFiles/amoeba_workload.dir/workload/function_profile.cpp.o" "gcc" "src/CMakeFiles/amoeba_workload.dir/workload/function_profile.cpp.o.d"
+  "/root/repo/src/workload/functionbench.cpp" "src/CMakeFiles/amoeba_workload.dir/workload/functionbench.cpp.o" "gcc" "src/CMakeFiles/amoeba_workload.dir/workload/functionbench.cpp.o.d"
+  "/root/repo/src/workload/load_generator.cpp" "src/CMakeFiles/amoeba_workload.dir/workload/load_generator.cpp.o" "gcc" "src/CMakeFiles/amoeba_workload.dir/workload/load_generator.cpp.o.d"
+  "/root/repo/src/workload/meters.cpp" "src/CMakeFiles/amoeba_workload.dir/workload/meters.cpp.o" "gcc" "src/CMakeFiles/amoeba_workload.dir/workload/meters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_workload.dir/workload/diurnal_trace.cpp.o"
+  "CMakeFiles/amoeba_workload.dir/workload/diurnal_trace.cpp.o.d"
+  "CMakeFiles/amoeba_workload.dir/workload/function_profile.cpp.o"
+  "CMakeFiles/amoeba_workload.dir/workload/function_profile.cpp.o.d"
+  "CMakeFiles/amoeba_workload.dir/workload/functionbench.cpp.o"
+  "CMakeFiles/amoeba_workload.dir/workload/functionbench.cpp.o.d"
+  "CMakeFiles/amoeba_workload.dir/workload/load_generator.cpp.o"
+  "CMakeFiles/amoeba_workload.dir/workload/load_generator.cpp.o.d"
+  "CMakeFiles/amoeba_workload.dir/workload/meters.cpp.o"
+  "CMakeFiles/amoeba_workload.dir/workload/meters.cpp.o.d"
+  "libamoeba_workload.a"
+  "libamoeba_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_amoeba_runtime.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_amoeba_runtime.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_amoeba_runtime.cpp.o.d"
+  "/root/repo/tests/core/test_contention_monitor.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_contention_monitor.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_contention_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_deployment_controller.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_deployment_controller.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_deployment_controller.cpp.o.d"
+  "/root/repo/tests/core/test_hybrid_engine.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_hybrid_engine.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_hybrid_engine.cpp.o.d"
+  "/root/repo/tests/core/test_latency_surface.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_latency_surface.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_latency_surface.cpp.o.d"
+  "/root/repo/tests/core/test_meter_curve.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_meter_curve.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_meter_curve.cpp.o.d"
+  "/root/repo/tests/core/test_prewarm_and_period.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_prewarm_and_period.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_prewarm_and_period.cpp.o.d"
+  "/root/repo/tests/core/test_queueing.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_queueing.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_queueing.cpp.o.d"
+  "/root/repo/tests/core/test_resource_accounting.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_resource_accounting.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_resource_accounting.cpp.o.d"
+  "/root/repo/tests/core/test_weight_estimator.cpp" "tests/CMakeFiles/amoeba_tests.dir/core/test_weight_estimator.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/core/test_weight_estimator.cpp.o.d"
+  "/root/repo/tests/exp/test_artifact_cache.cpp" "tests/CMakeFiles/amoeba_tests.dir/exp/test_artifact_cache.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/exp/test_artifact_cache.cpp.o.d"
+  "/root/repo/tests/exp/test_profiling.cpp" "tests/CMakeFiles/amoeba_tests.dir/exp/test_profiling.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/exp/test_profiling.cpp.o.d"
+  "/root/repo/tests/exp/test_scenario.cpp" "tests/CMakeFiles/amoeba_tests.dir/exp/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/exp/test_scenario.cpp.o.d"
+  "/root/repo/tests/exp/test_sweep_table.cpp" "tests/CMakeFiles/amoeba_tests.dir/exp/test_sweep_table.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/exp/test_sweep_table.cpp.o.d"
+  "/root/repo/tests/iaas/test_iaas_platform.cpp" "tests/CMakeFiles/amoeba_tests.dir/iaas/test_iaas_platform.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/iaas/test_iaas_platform.cpp.o.d"
+  "/root/repo/tests/iaas/test_vm.cpp" "tests/CMakeFiles/amoeba_tests.dir/iaas/test_vm.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/iaas/test_vm.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/amoeba_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/kernels/test_kernels.cpp" "tests/CMakeFiles/amoeba_tests.dir/kernels/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/kernels/test_kernels.cpp.o.d"
+  "/root/repo/tests/linalg/test_jacobi_eigen.cpp" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_jacobi_eigen.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_jacobi_eigen.cpp.o.d"
+  "/root/repo/tests/linalg/test_least_squares.cpp" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_least_squares.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_least_squares.cpp.o.d"
+  "/root/repo/tests/linalg/test_matrix.cpp" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_matrix.cpp.o.d"
+  "/root/repo/tests/linalg/test_pca.cpp" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_pca.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/linalg/test_pca.cpp.o.d"
+  "/root/repo/tests/serverless/test_container_pool.cpp" "tests/CMakeFiles/amoeba_tests.dir/serverless/test_container_pool.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/serverless/test_container_pool.cpp.o.d"
+  "/root/repo/tests/serverless/test_contention.cpp" "tests/CMakeFiles/amoeba_tests.dir/serverless/test_contention.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/serverless/test_contention.cpp.o.d"
+  "/root/repo/tests/serverless/test_platform.cpp" "tests/CMakeFiles/amoeba_tests.dir/serverless/test_platform.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/serverless/test_platform.cpp.o.d"
+  "/root/repo/tests/sim/test_counting_resource.cpp" "tests/CMakeFiles/amoeba_tests.dir/sim/test_counting_resource.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/sim/test_counting_resource.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/amoeba_tests.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_fair_share.cpp" "tests/CMakeFiles/amoeba_tests.dir/sim/test_fair_share.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/sim/test_fair_share.cpp.o.d"
+  "/root/repo/tests/sim/test_random.cpp" "tests/CMakeFiles/amoeba_tests.dir/sim/test_random.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/sim/test_random.cpp.o.d"
+  "/root/repo/tests/stats/test_gauge.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_gauge.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_gauge.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_online_moments.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_online_moments.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_online_moments.cpp.o.d"
+  "/root/repo/tests/stats/test_p2_quantile.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_p2_quantile.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_p2_quantile.cpp.o.d"
+  "/root/repo/tests/stats/test_percentile.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_percentile.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_percentile.cpp.o.d"
+  "/root/repo/tests/stats/test_rate_estimator.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_rate_estimator.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_rate_estimator.cpp.o.d"
+  "/root/repo/tests/stats/test_timeseries.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_timeseries.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_timeseries.cpp.o.d"
+  "/root/repo/tests/stats/test_utilization.cpp" "tests/CMakeFiles/amoeba_tests.dir/stats/test_utilization.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/stats/test_utilization.cpp.o.d"
+  "/root/repo/tests/workload/test_diurnal_trace.cpp" "tests/CMakeFiles/amoeba_tests.dir/workload/test_diurnal_trace.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/workload/test_diurnal_trace.cpp.o.d"
+  "/root/repo/tests/workload/test_function_profile.cpp" "tests/CMakeFiles/amoeba_tests.dir/workload/test_function_profile.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/workload/test_function_profile.cpp.o.d"
+  "/root/repo/tests/workload/test_functionbench.cpp" "tests/CMakeFiles/amoeba_tests.dir/workload/test_functionbench.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/workload/test_functionbench.cpp.o.d"
+  "/root/repo/tests/workload/test_load_generator.cpp" "tests/CMakeFiles/amoeba_tests.dir/workload/test_load_generator.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/workload/test_load_generator.cpp.o.d"
+  "/root/repo/tests/workload/test_meters.cpp" "tests/CMakeFiles/amoeba_tests.dir/workload/test_meters.cpp.o" "gcc" "tests/CMakeFiles/amoeba_tests.dir/workload/test_meters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amoeba_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_iaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
