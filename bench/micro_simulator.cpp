@@ -52,7 +52,9 @@ void BM_ServerlessQueryPath(benchmark::State& state) {
   cfg.pool_memory_mb = 32768.0;
   cfg.cold_start_mean_s = 0.0;
   workload::FunctionProfile p;
-  p.name = "f";
+  // std::string{} avoids GCC 12's bogus -Wrestrict on char* assignment
+  // under -fsanitize (PR105651).
+  p.name = std::string{"f"};
   p.exec = {.cpu_seconds = 0.05, .io_bytes = 1e6, .net_bytes = 1e6};
   p.code_bytes = 1e6;
   p.result_bytes = 1e4;

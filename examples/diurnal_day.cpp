@@ -10,7 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "../bench/bench_common.hpp"
+#include "bench_common.hpp"
 
 using namespace amoeba;
 

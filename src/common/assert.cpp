@@ -1,15 +1,57 @@
 #include "common/assert.hpp"
 
-#include <sstream>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
-namespace amoeba::detail {
+namespace amoeba {
 
-void contract_failure(const char* kind, const char* expr, const char* file,
-                      int line, const std::string& msg) {
+namespace {
+std::atomic<ContractHandler> g_handler{&abort_contract_handler};
+}  // namespace
+
+std::string ContractViolation::describe() const {
   std::ostringstream os;
   os << kind << " violated: `" << expr << "` at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw ContractError(os.str());
+  if (!captured.empty()) os << " [" << captured << ']';
+  if (!message.empty()) os << " — " << message;
+  return os.str();
 }
 
-}  // namespace amoeba::detail
+ContractHandler set_contract_handler(ContractHandler handler) noexcept {
+  if (handler == nullptr) handler = &abort_contract_handler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+ContractHandler contract_handler() noexcept {
+  return g_handler.load(std::memory_order_acquire);
+}
+
+void abort_contract_handler(const ContractViolation& v) {
+  const std::string text = v.describe();
+  std::fprintf(stderr, "amoeba: %s\n", text.c_str());
+  // abort() does not run stream destructors; flush so the diagnostic is
+  // never lost (death-tests match on it).
+  std::fflush(stderr);
+  std::abort();
+}
+
+void throwing_contract_handler(const ContractViolation& v) {
+  throw ContractError(v.describe());
+}
+
+namespace detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, std::string message, std::string captured) {
+  const ContractViolation v{kind,           expr,
+                            file,           line,
+                            std::move(message), std::move(captured)};
+  contract_handler()(v);
+  // A handler that returns leaves the violated state live; never continue.
+  abort_contract_handler(v);
+}
+
+}  // namespace detail
+}  // namespace amoeba

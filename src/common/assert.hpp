@@ -1,55 +1,153 @@
 // Contract-checking primitives used across the Amoeba library.
 //
 // Following the C++ Core Guidelines (I.6/E.12), preconditions are checked
-// with AMOEBA_EXPECTS and internal invariants with AMOEBA_ASSERT. Both are
-// always on (the library is a research artifact where silent corruption is
-// worse than the branch cost); violations throw `amoeba::ContractError` so
-// tests can assert on them.
+// with AMOEBA_EXPECTS, postconditions with AMOEBA_ENSURES, and internal
+// invariants with AMOEBA_INVARIANT (AMOEBA_ASSERT is a legacy alias).
+//
+// Checked/unchecked switch: contracts compile to real checks when
+// AMOEBA_CONTRACT_CHECKS is nonzero (the default; the CMake option
+// AMOEBA_CONTRACT_CHECKS drives it). When disabled they compile to an
+// unevaluated-operand no-op, so the condition still has to parse and the
+// variables it names stay "used".
+//
+// Failure handling: a violation builds a ContractViolation (kind,
+// stringified expression, file:line, optional message, optional captured
+// values) and hands it to the installed global handler. The default
+// handler prints the violation to stderr, flushes, and calls abort() — a
+// contract may fire on a noexcept path (destructors, simulator callbacks),
+// where throwing would escalate to std::terminate with no diagnostics.
+// Tests that want to assert on failures install throwing_contract_handler,
+// which throws amoeba::ContractError; death-tests reinstall
+// abort_contract_handler inside the dying statement.
+//
+// Value capture: AMOEBA_*_VALS(cond, a, b, ...) record the named values in
+// the failure report, e.g.
+//
+//   AMOEBA_EXPECTS_VALS(rho < 1.0, rho, n, mu);
+//   // -> precondition violated: `rho < 1.0` at queueing.cpp:57
+//   //    [rho, n, mu = 1.25, 4, 0.5]
+//
+// The capture expressions are evaluated only on failure.
 #pragma once
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#ifndef AMOEBA_CONTRACT_CHECKS
+#define AMOEBA_CONTRACT_CHECKS 1
+#endif
+
 namespace amoeba {
 
-/// Thrown when a precondition or invariant is violated.
+/// Thrown by throwing_contract_handler when a contract is violated.
 class ContractError : public std::logic_error {
  public:
   explicit ContractError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Everything known about one contract violation, as handed to the
+/// failure handler.
+struct ContractViolation {
+  const char* kind;      ///< "precondition" | "postcondition" | "invariant"
+  const char* expr;      ///< stringified condition
+  const char* file;      ///< __FILE__ of the check
+  int line;              ///< __LINE__ of the check
+  std::string message;   ///< optional user message ("" if none)
+  std::string captured;  ///< optional "names = values" capture ("" if none)
+
+  /// One-line human-readable description (what the default handler prints
+  /// and throwing_contract_handler uses as the exception message).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Global failure handler. Handlers should not return; if one does, the
+/// library falls back to abort_contract_handler.
+using ContractHandler = void (*)(const ContractViolation&);
+
+/// Install a new global failure handler; returns the previous one.
+/// Passing nullptr restores the default (abort_contract_handler).
+ContractHandler set_contract_handler(ContractHandler handler) noexcept;
+
+/// The currently installed failure handler.
+[[nodiscard]] ContractHandler contract_handler() noexcept;
+
+/// Default handler: print describe() to stderr, flush, abort(). Safe on
+/// noexcept paths; what death-tests match against.
+[[noreturn]] void abort_contract_handler(const ContractViolation& v);
+
+/// Test handler: throws ContractError(describe()).
+[[noreturn]] void throwing_contract_handler(const ContractViolation& v);
+
 namespace detail {
+
 [[noreturn]] void contract_failure(const char* kind, const char* expr,
                                    const char* file, int line,
-                                   const std::string& msg);
-}  // namespace detail
+                                   std::string message, std::string captured);
 
+inline void capture_values(std::ostream&) {}
+
+template <class T, class... Rest>
+void capture_values(std::ostream& os, const T& value, const Rest&... rest) {
+  os << value;
+  if constexpr (sizeof...(rest) > 0) {
+    os << ", ";
+    capture_values(os, rest...);
+  }
+}
+
+/// Render "a, b = 1, 2" from the stringified name list and the values.
+template <class... Ts>
+std::string capture(const char* names, const Ts&... values) {
+  std::ostringstream os;
+  os << names << " = ";
+  capture_values(os, values...);
+  return os.str();
+}
+
+}  // namespace detail
 }  // namespace amoeba
 
-#define AMOEBA_EXPECTS(cond)                                                \
-  do {                                                                      \
-    if (!(cond))                                                            \
-      ::amoeba::detail::contract_failure("precondition", #cond, __FILE__,   \
-                                         __LINE__, "");                     \
-  } while (false)
+/// Build a "names = values" capture string; evaluate lazily in contracts.
+#define AMOEBA_CAPTURE(...) ::amoeba::detail::capture(#__VA_ARGS__, __VA_ARGS__)
 
-#define AMOEBA_EXPECTS_MSG(cond, msg)                                       \
-  do {                                                                      \
-    if (!(cond))                                                            \
-      ::amoeba::detail::contract_failure("precondition", #cond, __FILE__,   \
-                                         __LINE__, (msg));                  \
+#if AMOEBA_CONTRACT_CHECKS
+#define AMOEBA_CONTRACT_CHECK_(kind, cond, msgexpr, capexpr)              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::amoeba::detail::contract_failure(kind, #cond, __FILE__, __LINE__, \
+                                         (msgexpr), (capexpr));           \
   } while (false)
+#else
+// Unevaluated operand: the condition must still compile, but no code runs.
+#define AMOEBA_CONTRACT_CHECK_(kind, cond, msgexpr, capexpr) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif
 
-#define AMOEBA_ASSERT(cond)                                                 \
-  do {                                                                      \
-    if (!(cond))                                                            \
-      ::amoeba::detail::contract_failure("invariant", #cond, __FILE__,      \
-                                         __LINE__, "");                     \
-  } while (false)
+#define AMOEBA_EXPECTS(cond) \
+  AMOEBA_CONTRACT_CHECK_("precondition", cond, ::std::string(), ::std::string())
+#define AMOEBA_EXPECTS_MSG(cond, msg) \
+  AMOEBA_CONTRACT_CHECK_("precondition", cond, (msg), ::std::string())
+#define AMOEBA_EXPECTS_VALS(cond, ...)             \
+  AMOEBA_CONTRACT_CHECK_("precondition", cond, ::std::string(), \
+                         AMOEBA_CAPTURE(__VA_ARGS__))
 
-#define AMOEBA_ASSERT_MSG(cond, msg)                                        \
-  do {                                                                      \
-    if (!(cond))                                                            \
-      ::amoeba::detail::contract_failure("invariant", #cond, __FILE__,      \
-                                         __LINE__, (msg));                  \
-  } while (false)
+#define AMOEBA_ENSURES(cond) \
+  AMOEBA_CONTRACT_CHECK_("postcondition", cond, ::std::string(), ::std::string())
+#define AMOEBA_ENSURES_MSG(cond, msg) \
+  AMOEBA_CONTRACT_CHECK_("postcondition", cond, (msg), ::std::string())
+#define AMOEBA_ENSURES_VALS(cond, ...)              \
+  AMOEBA_CONTRACT_CHECK_("postcondition", cond, ::std::string(), \
+                         AMOEBA_CAPTURE(__VA_ARGS__))
+
+#define AMOEBA_INVARIANT(cond) \
+  AMOEBA_CONTRACT_CHECK_("invariant", cond, ::std::string(), ::std::string())
+#define AMOEBA_INVARIANT_MSG(cond, msg) \
+  AMOEBA_CONTRACT_CHECK_("invariant", cond, (msg), ::std::string())
+#define AMOEBA_INVARIANT_VALS(cond, ...)         \
+  AMOEBA_CONTRACT_CHECK_("invariant", cond, ::std::string(), \
+                         AMOEBA_CAPTURE(__VA_ARGS__))
+
+// Legacy aliases (pre-contract-library spellings).
+#define AMOEBA_ASSERT(cond) AMOEBA_INVARIANT(cond)
+#define AMOEBA_ASSERT_MSG(cond, msg) AMOEBA_INVARIANT_MSG(cond, msg)

@@ -49,12 +49,17 @@ double LatencySurface::at(double pressure, double load) const {
   double fp = 0.0, fl = 0.0;
   const std::size_t pi = bracket(pressures_, pressure, fp);
   const std::size_t li = bracket(loads_, load, fl);
+  AMOEBA_INVARIANT_VALS(fp >= 0.0 && fp <= 1.0 && fl >= 0.0 && fl <= 1.0,
+                        fp, fl);
   const double v00 = value(pi, li);
   const double v01 = value(pi, li + 1);
   const double v10 = value(pi + 1, li);
   const double v11 = value(pi + 1, li + 1);
-  return (1.0 - fp) * ((1.0 - fl) * v00 + fl * v01) +
-         fp * ((1.0 - fl) * v10 + fl * v11);
+  const double v = (1.0 - fp) * ((1.0 - fl) * v00 + fl * v01) +
+                   fp * ((1.0 - fl) * v10 + fl * v11);
+  // Bilinear interpolation of non-negative samples stays non-negative.
+  AMOEBA_ENSURES_VALS(v >= 0.0, v, pressure, load);
+  return v;
 }
 
 }  // namespace amoeba::core

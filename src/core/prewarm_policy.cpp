@@ -14,7 +14,10 @@ int PrewarmPolicy::containers_for(double load_qps, double qos_target_s) const {
   // Eq. 7: (n-1)/QoS_t < V_u <= n/QoS_t  =>  n = ceil(V_u * QoS_t).
   const double raw = std::ceil(load_qps * qos_target_s * headroom);
   const int n = raw <= 0.0 ? 0 : static_cast<int>(raw);
-  return std::clamp(n, min_containers, max_containers);
+  const int clamped = std::clamp(n, min_containers, max_containers);
+  AMOEBA_ENSURES_VALS(clamped >= min_containers && clamped <= max_containers,
+                      clamped, min_containers, max_containers);
+  return clamped;
 }
 
 }  // namespace amoeba::core

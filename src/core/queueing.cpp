@@ -10,10 +10,13 @@ namespace amoeba::core::queueing {
 namespace {
 
 void check_params(double lambda, int n, double mu) {
-  AMOEBA_EXPECTS(lambda > 0.0);
-  AMOEBA_EXPECTS(n >= 1);
-  AMOEBA_EXPECTS(mu > 0.0);
+  AMOEBA_EXPECTS_VALS(lambda > 0.0, lambda);
+  AMOEBA_EXPECTS_VALS(n >= 1, n);
+  AMOEBA_EXPECTS_VALS(mu > 0.0, mu);
 }
+
+/// Postcondition shared by the state-probability functions: a probability.
+bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
 
 /// log of Σ exp(x_i) computed stably.
 double log_sum_exp(const std::vector<double>& xs) {
@@ -56,20 +59,26 @@ double rho(double lambda, int n, double mu) {
 double pi0(double lambda, int n, double mu) {
   check_params(lambda, n, mu);
   AMOEBA_EXPECTS_MSG(rho(lambda, n, mu) < 1.0, "system must be stable");
-  return std::exp(log_pi0(lambda, n, mu));
+  const double p = std::exp(log_pi0(lambda, n, mu));
+  AMOEBA_ENSURES_VALS(is_probability(p), p, lambda, n, mu);
+  return p;
 }
 
 double pi_n(double lambda, int n, double mu) {
   check_params(lambda, n, mu);
   AMOEBA_EXPECTS_MSG(rho(lambda, n, mu) < 1.0, "system must be stable");
-  return std::exp(log_pin(lambda, n, mu));
+  const double p = std::exp(log_pin(lambda, n, mu));
+  AMOEBA_ENSURES_VALS(is_probability(p), p, lambda, n, mu);
+  return p;
 }
 
 double erlang_c(double lambda, int n, double mu) {
   check_params(lambda, n, mu);
   const double r = rho(lambda, n, mu);
   AMOEBA_EXPECTS_MSG(r < 1.0, "system must be stable");
-  return std::exp(log_pin(lambda, n, mu) - std::log1p(-r));
+  const double c = std::exp(log_pin(lambda, n, mu) - std::log1p(-r));
+  AMOEBA_ENSURES_VALS(is_probability(c), c, lambda, n, mu);
+  return c;
 }
 
 double wait_quantile(double lambda, int n, double mu, double q) {
@@ -81,8 +90,9 @@ double wait_quantile(double lambda, int n, double mu, double q) {
   const double log_c = log_pin(lambda, n, mu) - std::log1p(-r);
   // Solve 1 - C e^{-θt} = q  ->  t = (log C - log(1-q)) / θ.
   const double theta = n * mu * (1.0 - r);
-  const double t = (log_c - std::log1p(-q)) / theta;
-  return std::max(t, 0.0);
+  const double t = std::max((log_c - std::log1p(-q)) / theta, 0.0);
+  AMOEBA_ENSURES_VALS(std::isfinite(t), t, lambda, n, mu, q);
+  return t;
 }
 
 double latency_quantile(double lambda, int n, double mu, double r) {
@@ -130,6 +140,8 @@ std::optional<double> eq5_lambda(int n, double mu, double t_d, double r,
     lambda = nl;
   }
   if (lambda <= 1e-6 * n * mu) return std::nullopt;
+  // The clamp above keeps every returned operating point stable (ρ < 1).
+  AMOEBA_ENSURES_VALS(lambda < n * mu, lambda, n, mu);
   return lambda;
 }
 
@@ -176,7 +188,9 @@ std::optional<int> min_servers(double lambda, double mu, double t_d, double r,
 
 double mean_wait(double lambda, int n, double mu) {
   const double c = erlang_c(lambda, n, mu);
-  return c / (n * mu - lambda);
+  const double w = c / (n * mu - lambda);
+  AMOEBA_ENSURES_VALS(w >= 0.0 && std::isfinite(w), w, lambda, n, mu);
+  return w;
 }
 
 }  // namespace amoeba::core::queueing

@@ -1,6 +1,7 @@
 #include "core/weight_estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace amoeba::core {
 
@@ -76,11 +77,17 @@ double WeightEstimator::predict_service_time(const Features& raw) const {
   }
   // A regression extrapolating into thin data can under-shoot physics:
   // never predict below the uncontended floor.
-  return std::max(p, l0_ + alpha_);
+  p = std::max(p, l0_ + alpha_);
+  AMOEBA_ENSURES_VALS(p > 0.0 && std::isfinite(p), p);
+  return p;
 }
 
 double WeightEstimator::mu(const Features& f) const {
-  return 1.0 / predict_service_time(f);
+  const double m = 1.0 / predict_service_time(f);
+  // μ feeds the M/M/N discriminant directly; a non-positive or non-finite
+  // rate would invalidate every downstream stability check.
+  AMOEBA_ENSURES_VALS(m > 0.0 && std::isfinite(m), m);
+  return m;
 }
 
 std::optional<std::array<double, kNumResources>> WeightEstimator::weights()

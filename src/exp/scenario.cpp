@@ -271,6 +271,7 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
       }
       break;
   }
+  result.trace_hash = engine.trace_hash();
   return result;
 }
 

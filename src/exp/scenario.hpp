@@ -110,6 +110,9 @@ struct ManagedRunResult {
   core::ServiceTimeline timeline;          ///< populated if sampling enabled
   double qos_target_s = 0.0;
   double duration_s = 0.0;
+  /// Hash of the executed event trace (timestamp, event id) — identical
+  /// across runs iff the simulation was deterministic (see Engine::trace_hash).
+  std::uint64_t trace_hash = 0;
 
   [[nodiscard]] double p95() const { return latencies.quantile(0.95); }
   [[nodiscard]] double violation_fraction() const {

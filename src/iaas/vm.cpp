@@ -37,13 +37,17 @@ VirtualMachine::VirtualMachine(sim::Engine& engine,
 
 void VirtualMachine::advance_accounting(sim::Time now) {
   const double dt = now - mark_;
-  AMOEBA_ASSERT(dt >= 0.0);
+  AMOEBA_INVARIANT_VALS(dt >= 0.0, now, mark_);
   if (state_ != VmState::kStopped) {
     rented_core_s_ += spec_.cores * dt;
     rented_mb_s_ += spec_.memory_mb * dt;
     uptime_s_ += dt;
   }
   mark_ = now;
+  // Rented-resource integrals only ever grow while the VM is up.
+  AMOEBA_INVARIANT_VALS(rented_core_s_ >= 0.0 && rented_mb_s_ >= 0.0 &&
+                            uptime_s_ >= 0.0,
+                        rented_core_s_, rented_mb_s_, uptime_s_);
 }
 
 void VirtualMachine::boot(std::function<void()> on_ready) {
@@ -119,6 +123,7 @@ void VirtualMachine::submit(workload::QueryCompletionFn on_done) {
 
   auto finish = [this, rec, done = std::move(on_done)]() mutable {
     rec->completion = engine_.now();
+    AMOEBA_INVARIANT_MSG(in_flight_ > 0, "completion without an in-flight query");
     --in_flight_;
     done(*rec);
     maybe_finish_drain();

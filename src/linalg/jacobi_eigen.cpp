@@ -11,6 +11,7 @@ EigenDecomposition jacobi_eigen(const Matrix& a, double symmetry_tol,
   AMOEBA_EXPECTS(a.is_square());
   AMOEBA_EXPECTS_MSG(a.is_symmetric(symmetry_tol),
                      "jacobi_eigen requires a symmetric matrix");
+  AMOEBA_EXPECTS_VALS(max_sweeps >= 1, max_sweeps);
   const std::size_t n = a.rows();
   Matrix m = a;
   Matrix v = Matrix::identity(n);
@@ -23,8 +24,12 @@ EigenDecomposition jacobi_eigen(const Matrix& a, double symmetry_tol,
   };
 
   const double scale = std::max(m.frobenius_norm(), 1e-300);
+  bool converged = false;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    if (off_diagonal_norm() <= 1e-14 * scale) break;
+    if (off_diagonal_norm() <= 1e-14 * scale) {
+      converged = true;
+      break;
+    }
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = m(p, q);
@@ -58,6 +63,14 @@ EigenDecomposition jacobi_eigen(const Matrix& a, double symmetry_tol,
         }
       }
     }
+  }
+
+  // Cyclic Jacobi converges quadratically; hitting the sweep cap with a
+  // large off-diagonal residual means the input was pathological and the
+  // eigenpairs below would silently mis-weight the PCA calibration.
+  if (!converged) {
+    AMOEBA_ENSURES_VALS(off_diagonal_norm() <= 1e-8 * scale,
+                        off_diagonal_norm(), scale, max_sweeps);
   }
 
   // Sort eigenpairs by descending eigenvalue.

@@ -74,8 +74,17 @@ PcaModel fit_pca(const Matrix& samples, double min_explained) {
     }
 
   EigenDecomposition eig = jacobi_eigen(corr);
-  // Clamp tiny negative eigenvalues caused by rounding.
-  for (auto& v : eig.values) v = std::max(v, 0.0);
+  // A correlation matrix is positive semi-definite: anything below a tiny
+  // rounding margin signals a broken decomposition, not noise. Clamp only
+  // the rounding dust.
+  for (auto& v : eig.values) {
+    AMOEBA_INVARIANT_VALS(v >= -1e-8 * static_cast<double>(d), v, d);
+    v = std::max(v, 0.0);
+  }
+  for (std::size_t i = 1; i < eig.values.size(); ++i) {
+    AMOEBA_INVARIANT_MSG(eig.values[i] <= eig.values[i - 1],
+                         "eigenvalues must be sorted descending");
+  }
 
   model.eigenvalues = eig.values;
   model.components = eig.vectors;
@@ -89,6 +98,10 @@ PcaModel fit_pca(const Matrix& samples, double min_explained) {
     ++model.retained;
     if (total <= 0.0 || kept / total >= min_explained) break;
   }
+  AMOEBA_ENSURES_VALS(model.retained >= 1 && model.retained <= d,
+                      model.retained, d);
+  const double explained = model.explained_variance();
+  AMOEBA_ENSURES_VALS(explained >= 0.0 && explained <= 1.0 + 1e-12, explained);
   return model;
 }
 

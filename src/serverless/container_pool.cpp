@@ -6,6 +6,17 @@
 
 namespace amoeba::serverless {
 
+namespace {
+
+/// Per-function container counts are decremented on every state change;
+/// a negative count means double-release bookkeeping corruption.
+void check_counts(const PoolCounts& c) {
+  AMOEBA_INVARIANT_VALS(c.starting >= 0 && c.idle >= 0 && c.busy >= 0,
+                        c.starting, c.idle, c.busy);
+}
+
+}  // namespace
+
 ContainerPool::ContainerPool(sim::Engine& engine, double memory_capacity_mb,
                              double keep_alive_s)
     : engine_(engine),
@@ -46,6 +57,7 @@ std::optional<ContainerId> ContainerPool::start(
     cont.idle_since = engine_.now();
     counts_by_fn_[cont.function].starting -= 1;
     counts_by_fn_[cont.function].idle += 1;
+    check_counts(counts_by_fn_[cont.function]);
     idle_by_fn_[cont.function].push_back(id);
     cont.expiry_event =
         engine_.schedule_in(keep_alive_s_, [this, id] { expire(id); });
@@ -98,6 +110,7 @@ void ContainerPool::mark_busy(ContainerId id) {
   ++c.invocations_served;
   counts_by_fn_[c.function].idle -= 1;
   counts_by_fn_[c.function].busy += 1;
+  check_counts(counts_by_fn_[c.function]);
 }
 
 void ContainerPool::release_to_idle(ContainerId id) {
@@ -107,6 +120,7 @@ void ContainerPool::release_to_idle(ContainerId id) {
   c.idle_since = engine_.now();
   counts_by_fn_[c.function].busy -= 1;
   counts_by_fn_[c.function].idle += 1;
+  check_counts(counts_by_fn_[c.function]);
   idle_by_fn_[c.function].push_back(id);
   c.expiry_event =
       engine_.schedule_in(keep_alive_s_, [this, id] { expire(id); });
@@ -130,6 +144,7 @@ void ContainerPool::destroy(ContainerId id) {
       counts_by_fn_[c.function].busy -= 1;
       break;
   }
+  check_counts(counts_by_fn_[c.function]);
   if (c.expiry_event != sim::kNoEvent) engine_.cancel(c.expiry_event);
   mem_gauge_by_fn_.at(c.function).add(engine_.now(), -c.memory_mb);
   memory_.release(c.memory_mb);

@@ -1,8 +1,21 @@
 #include "sim/engine.hpp"
 
+#include <bit>
 #include <utility>
 
 namespace amoeba::sim {
+
+namespace {
+
+/// SplitMix64-style finalizer for the trace hash.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 EventId Engine::schedule(Time at, std::function<void()> fn) {
   AMOEBA_EXPECTS_MSG(at >= now_, "cannot schedule an event in the past");
@@ -18,7 +31,7 @@ bool Engine::cancel(EventId id) {
   auto it = handlers_.find(id);
   if (it == handlers_.end()) return false;
   handlers_.erase(it);
-  AMOEBA_ASSERT(live_ > 0);
+  AMOEBA_INVARIANT(live_ > 0);
   --live_;
   return true;
 }
@@ -32,9 +45,11 @@ bool Engine::step() {
     std::function<void()> fn = std::move(it->second);
     handlers_.erase(it);
     --live_;
-    AMOEBA_ASSERT(top.at >= now_);
+    AMOEBA_INVARIANT_VALS(top.at >= now_, top.at, now_);
     now_ = top.at;
     ++executed_;
+    trace_hash_ = mix64(trace_hash_ ^ std::bit_cast<std::uint64_t>(top.at) ^
+                        (top.id * 0x2545f4914f6cdd1dULL));
     fn();
     return true;
   }

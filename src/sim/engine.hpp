@@ -69,6 +69,13 @@ class Engine {
   /// Total number of events executed so far (for micro-benchmarks).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Order-sensitive hash over every executed event's (timestamp, id).
+  /// Two runs of the same simulation produce identical hashes iff they
+  /// executed identical event traces — the determinism checker's anchor.
+  [[nodiscard]] std::uint64_t trace_hash() const noexcept {
+    return trace_hash_;
+  }
+
  private:
   struct HeapEntry {
     Time at;
@@ -84,6 +91,7 @@ class Engine {
   EventId next_id_ = 1;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
   std::unordered_map<EventId, std::function<void()>> handlers_;
 };

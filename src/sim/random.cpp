@@ -44,17 +44,20 @@ double Rng::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform();
 }
 
+// GCC/Clang extension; __extension__ keeps -Wpedantic quiet about it.
+__extension__ typedef unsigned __int128 amoeba_u128;
+
 std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
   // Lemire's multiply-shift rejection method (unbiased).
   AMOEBA_ASSERT(n > 0);
   std::uint64_t x = (*this)();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  amoeba_u128 m = static_cast<amoeba_u128>(x) * n;
   auto lo = static_cast<std::uint64_t>(m);
   if (lo < n) {
     const std::uint64_t threshold = (0 - n) % n;
     while (lo < threshold) {
       x = (*this)();
-      m = static_cast<unsigned __int128>(x) * n;
+      m = static_cast<amoeba_u128>(x) * n;
       lo = static_cast<std::uint64_t>(m);
     }
   }

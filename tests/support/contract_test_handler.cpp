@@ -1,0 +1,15 @@
+// Linked into every test executable: installs the throwing contract
+// handler before main() so unit tests can EXPECT_THROW(amoeba::ContractError)
+// on failure paths. Death-tests that want the production abort behaviour
+// reinstall amoeba::abort_contract_handler inside the dying statement (the
+// death-test child inherits this throwing handler otherwise).
+#include "common/assert.hpp"
+
+namespace {
+
+const bool g_throwing_handler_installed = [] {
+  amoeba::set_contract_handler(&amoeba::throwing_contract_handler);
+  return true;
+}();
+
+}  // namespace

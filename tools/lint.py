@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Repo-local lint pass for the Amoeba tree; runs as the `lint` ctest entry.
+
+Checks (all are hard failures):
+  * include hygiene: no `#include "src/..."` or `#include "../..."` paths
+    (all project includes are rooted at src/), and every header under src/
+    starts its code with `#pragma once`;
+  * banned patterns: `rand()`/`srand()`, raw `new`/`delete` expressions, and
+    std RNG engines (`std::mt19937`, `std::random_device`, ...) outside
+    src/sim/random.* — all stochastic behaviour must flow through
+    amoeba::sim::Rng so simulations stay seed-deterministic;
+  * build listings: every .cpp under src/, tests/ and bench/ is listed in
+    the corresponding CMakeLists.txt (an unlisted file silently drops its
+    tests/symbols from the build).
+
+A line may opt out of the banned-pattern checks with a trailing
+`// lint: allow` comment, for the rare case that needs the raw construct.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_DIRS = ("src", "tests", "bench", "examples")
+
+ALLOW_MARKER = "lint: allow"
+
+BANNED = [
+    (re.compile(r"(?<![\w.])s?rand\s*\("), "rand()/srand(): use amoeba::sim::Rng"),
+    (re.compile(r"\bnew\s+[A-Za-z_:<]"), "raw new: use std::make_unique/containers"),
+    (re.compile(r"\bdelete\s+[A-Za-z_(]|\bdelete\[\]"), "raw delete: use RAII owners"),
+]
+
+# std RNG engines/sources are banned outside the one blessed wrapper.
+STD_RNG = re.compile(
+    r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|"
+    r"ranlux\w+|knuth_b)\b")
+STD_RNG_ALLOWED = {Path("src/sim/random.hpp"), Path("src/sim/random.cpp")}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub so banned-pattern checks skip prose."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    line = re.sub(r"//.*$", "", line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    return line
+
+
+def iter_sources():
+    for top in SRC_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".cpp", ".hpp", ".h"):
+                yield path
+
+
+def check_file(path: Path, errors: list[str]):
+    rel = path.relative_to(REPO)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    in_block_comment = False
+    saw_pragma_once = False
+    for lineno, raw in enumerate(lines, start=1):
+        if in_block_comment:
+            if "*/" in raw:
+                in_block_comment = False
+            continue
+
+        m = INCLUDE_RE.match(raw)
+        if m:
+            inc = m.group(1)
+            if inc.startswith("src/"):
+                errors.append(
+                    f"{rel}:{lineno}: include path must be rooted at src/ "
+                    f'(drop the "src/" prefix): {inc}')
+            if inc.startswith(".."):
+                errors.append(
+                    f"{rel}:{lineno}: relative-parent include (use the "
+                    f"src/-rooted path): {inc}")
+
+        if path.suffix in (".hpp", ".h") and raw.strip() == "#pragma once":
+            saw_pragma_once = True
+
+        if ALLOW_MARKER in raw:
+            continue
+        code = strip_comments_and_strings(raw)
+        if raw.lstrip().startswith("/*") and "*/" not in raw:
+            in_block_comment = True
+            continue
+        for pattern, why in BANNED:
+            if pattern.search(code):
+                errors.append(f"{rel}:{lineno}: {why}")
+        if STD_RNG.search(code) and rel not in STD_RNG_ALLOWED:
+            errors.append(
+                f"{rel}:{lineno}: std random engine outside src/sim/random.* "
+                f"(use amoeba::sim::Rng for seed-determinism)")
+
+    if path.suffix in (".hpp", ".h"):
+        if re.search(r"#\s*ifndef\s+\w+_H(PP)?_?\b", text):
+            errors.append(f"{rel}: uses an include guard; this tree "
+                          f"standardizes on #pragma once")
+        if not saw_pragma_once:
+            errors.append(f"{rel}: header missing #pragma once")
+
+
+def check_cmake_listings(errors: list[str]):
+    for top in ("src", "tests", "bench", "examples"):
+        root = REPO / top
+        cmake = root / "CMakeLists.txt"
+        if not root.is_dir() or not cmake.is_file():
+            continue
+        cmake_text = cmake.read_text()
+        listed = set(re.findall(r"[\w/.-]+\.cpp", cmake_text))
+        # Helper-function style (`amoeba_bench(fig03_peak_load)`) lists the
+        # stem only; accept any bare-word mention of the stem.
+        stems = set(re.findall(r"[\w-]+", cmake_text))
+        for path in sorted(root.rglob("*.cpp")):
+            rel_in_dir = path.relative_to(root).as_posix()
+            if rel_in_dir not in listed and path.stem not in stems:
+                errors.append(
+                    f"{path.relative_to(REPO)}: not listed in "
+                    f"{top}/CMakeLists.txt (file would silently drop out "
+                    f"of the build)")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in iter_sources():
+        check_file(path, errors)
+    check_cmake_listings(errors)
+    if errors:
+        print(f"lint: {len(errors)} finding(s)", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
