@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,7 @@
 #include "exp/profiling.hpp"
 #include "exp/scenario.hpp"
 #include "exp/table.hpp"
+#include "obs/exporters.hpp"
 
 namespace amoeba::bench {
 
@@ -90,6 +92,39 @@ inline core::ServiceArtifacts cached_artifacts(
   exp::save_artifacts(path, tag, art);
   return art;
 }
+
+/// Per-run observability hookup for benches: parse the shared
+/// --trace-out/--metrics-out/--audit-out/--summary-out flags once, attach a
+/// fresh Observer to each managed run, and export with a per-run suffix so
+/// one flag set covers several runs (fig12 runs float and dd back to back).
+class BenchObservability {
+ public:
+  BenchObservability(int argc, char** argv)
+      : paths_(obs::parse_export_flags(argc, argv)) {}
+
+  [[nodiscard]] bool active() const { return paths_.any(); }
+
+  /// A fresh observer for the next run; nullptr when no flags were given.
+  [[nodiscard]] obs::Observer* begin_run() {
+    if (!paths_.any()) return nullptr;
+    observer_ = std::make_unique<obs::Observer>(obs::ObsConfig{});
+    return observer_.get();
+  }
+
+  /// Export the current run's artifacts, inserting "_<tag>" before each
+  /// file extension. No-op when begin_run() returned nullptr.
+  void end_run(const std::string& tag) {
+    if (observer_) {
+      obs::write_exports(*observer_, paths_, std::cerr,
+                         tag.empty() ? std::string{} : "_" + tag);
+    }
+    observer_.reset();
+  }
+
+ private:
+  obs::ExportPaths paths_;
+  std::unique_ptr<obs::Observer> observer_;
+};
 
 /// The standard managed-run options for the main evaluation scenario.
 inline exp::ManagedRunOptions bench_run_options() {

@@ -14,12 +14,15 @@ using namespace amoeba;
 void timeline_for(const workload::FunctionProfile& p,
                   const exp::ClusterConfig& cluster,
                   const core::MeterCalibration& cal,
-                  const exp::ProfilingConfig& prof) {
+                  const exp::ProfilingConfig& prof,
+                  bench::BenchObservability& bobs) {
   auto opt = bench::bench_run_options();
   opt.timeline_period_s = opt.period_s / 64.0;
+  opt.observer = bobs.begin_run();
   const auto art = bench::cached_artifacts(p, cluster, cal, prof);
   const auto r = exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster,
                                   cal, art, opt);
+  bobs.end_run(p.name);
 
   std::cout << "\n== " << p.name << " — one diurnal day ("
             << opt.period_s << " s, peak " << p.peak_load_qps << " qps)\n";
@@ -47,15 +50,16 @@ void timeline_for(const workload::FunctionProfile& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amoeba;
+  bench::BenchObservability bobs(argc, argv);
   const auto cluster = bench::bench_cluster();
   const auto prof = bench::bench_profiling();
   exp::print_banner(std::cout, "Fig. 12",
                     "deploy-mode switch timeline (float, dd)");
   const auto cal = bench::cached_calibration(cluster, prof);
-  timeline_for(workload::make_float(), cluster, cal, prof);
-  timeline_for(workload::make_dd(), cluster, cal, prof);
+  timeline_for(workload::make_float(), cluster, cal, prof, bobs);
+  timeline_for(workload::make_dd(), cluster, cal, prof, bobs);
   std::cout << "\npaper's shape: serverless through the trough, IaaS through\n"
                "the rushes; the to-serverless and to-IaaS switch loads\n"
                "differ because contention varies across the day.\n";

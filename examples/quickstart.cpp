@@ -2,16 +2,22 @@
 // and watch it switch between IaaS and serverless as the load swings.
 //
 //   ./examples/quickstart
+//   ./examples/quickstart --trace-out trace.json --metrics-out metrics.jsonl
 //
 // This is the smallest end-to-end use of the public API:
 //   1. build the two platforms (serverless + IaaS) on a simulation engine;
 //   2. hand Amoeba a meter calibration and the service's profiled
 //      artifacts (here: quick synthetic stand-ins);
 //   3. submit queries; Amoeba routes, monitors, predicts and switches.
+//
+// With --trace-out / --metrics-out / --audit-out / --summary-out the run is
+// recorded through the observability layer (see README "Inspecting a run");
+// the trace loads directly into ui.perfetto.dev.
 #include <iostream>
 #include <memory>
 
 #include "core/amoeba.hpp"
+#include "obs/exporters.hpp"
 #include "workload/load_generator.hpp"
 #include "workload/meters.hpp"
 
@@ -56,7 +62,10 @@ core::ServiceArtifacts demo_artifacts(const workload::FunctionProfile& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::ExportPaths exports = obs::parse_export_flags(argc, argv);
+  obs::Observer observer{obs::ObsConfig{}};
+
   // 1. The simulated node (Table II of the paper, shrunk for the demo).
   sim::Engine engine;
   sim::Rng rng(2020);
@@ -86,6 +95,7 @@ int main() {
 
   core::AmoebaConfig cfg;
   cfg.monitor.sample_period_s = 5.0;
+  if (exports.any()) cfg.observer = &observer;
   core::AmoebaRuntime amoeba_rt(engine, serverless_node, iaas_node,
                                 demo_calibration(sp_cfg), cfg, rng.fork(3));
   // Cap the service at its VM-equivalent share of the pool (paper §IV-A's
@@ -127,5 +137,8 @@ int main() {
             << " GB-s\n";
   std::cout << "(pure IaaS would have rented "
             << vm.cores * (engine.now() - 20.0) << " core-s)\n";
+
+  // 5. Export the run's observability artifacts, if asked for.
+  obs::write_exports(observer, exports, std::cout);
   return 0;
 }

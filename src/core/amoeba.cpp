@@ -1,6 +1,9 @@
 #include "core/amoeba.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "core/queueing.hpp"
 
 namespace amoeba::core {
 
@@ -16,8 +19,12 @@ AmoebaRuntime::AmoebaRuntime(sim::Engine& engine,
       exec_engine_(engine, serverless, iaas, cfg.engine, rng.fork(11)),
       monitor_(engine, serverless, std::move(calibration), cfg.monitor,
                rng.fork(12)),
-      accountant_(serverless, iaas) {
+      accountant_(serverless, iaas),
+      obs_(cfg.observer) {
   AMOEBA_EXPECTS(cfg.load_window_s > 0.0);
+  exec_engine_.set_observer(obs_);
+  monitor_.set_observer(obs_);
+  serverless_.set_observer(obs_);
 
   // Mirrored (and resident-sampled) completions feed the controller's
   // weight calibration with queue-free service times.
@@ -62,12 +69,17 @@ const AmoebaRuntime::ServiceRt& AmoebaRuntime::rt_of(
   return it->second;
 }
 
+double AmoebaRuntime::timeline_period() const {
+  if (cfg_.timeline_period_s == 0.0) return monitor_.sample_period();
+  return cfg_.timeline_period_s;
+}
+
 void AmoebaRuntime::start() {
   AMOEBA_EXPECTS(!started_);
   started_ = true;
   monitor_.set_on_sample([this] { on_sample(); });
   monitor_.start();
-  if (cfg_.timeline_period_s > 0.0) {
+  if (timeline_period() > 0.0) {
     sample_timelines();
   }
 }
@@ -80,16 +92,25 @@ void AmoebaRuntime::stop() {
     engine_.cancel(timeline_event_);
     timeline_event_ = sim::kNoEvent;
   }
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    obs_->metrics().take_snapshot(engine_.now());
+  }
 }
 
 void AmoebaRuntime::submit(const std::string& service,
                            workload::QueryCompletionFn on_done) {
   ServiceRt& rt = rt_of(service);
   rt.load.record(engine_.now());
+  // Platform attribution is fixed at submission: a query in flight across a
+  // route flip still belongs to the platform that accepted it.
+  const DeployMode platform = exec_engine_.route(service);
   exec_engine_.submit(
-      service, [this, service, done = std::move(on_done)](
+      service, [this, service, platform, done = std::move(on_done)](
                    const workload::QueryRecord& rec) {
         rt_of(service).period_latencies.add(rec.latency());
+        if (obs_ != nullptr && obs_->enabled()) {
+          record_query(service, rec, platform);
+        }
         // In serverless mode every user query doubles as a heartbeat.
         if (exec_engine_.route(service) == DeployMode::kServerless) {
           const double service_time = rec.breakdown.total() -
@@ -120,6 +141,19 @@ void AmoebaRuntime::on_sample() {
     }
     if (exec_engine_.transitioning(name)) {
       rt.period_latencies.clear();
+      // Even ticks spent mid-switch leave an audit record: every monitor
+      // sample accounts for every service.
+      if (obs_ != nullptr && obs_->audit_on()) {
+        obs::DecisionRecord dr;
+        dr.time_s = engine_.now();
+        dr.service = name;
+        dr.platform = to_string(controller_.mode(name));
+        dr.decision = "transitioning";
+        dr.load_qps = rt.load.rate(engine_.now());
+        dr.total_pressures = pressures;
+        dr.qos_target_s = controller_.qos_target(name);
+        obs_->audit().append(std::move(dr));
+      }
       continue;
     }
     ServiceTickInput input;
@@ -150,6 +184,9 @@ void AmoebaRuntime::on_sample() {
     rt.period_latencies.clear();
 
     const SwitchDecision decision = controller_.tick(name, input);
+    if (obs_ != nullptr && obs_->enabled()) {
+      record_decision(name, input, decision);
+    }
     switch (decision) {
       case SwitchDecision::kStay:
         // §V-A: while serverless, keep the Eq. 7 warm set tracking the load
@@ -170,6 +207,115 @@ void AmoebaRuntime::on_sample() {
         break;
     }
   }
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m.gauge("pool_memory_in_use_mb").set(serverless_.pool().memory_in_use_mb());
+    m.gauge("pool_cold_starts_total")
+        .set(static_cast<double>(serverless_.pool().cold_starts()));
+    m.gauge("pool_evictions_total")
+        .set(static_cast<double>(serverless_.pool().evictions()));
+    m.gauge("mirrored_queries_total")
+        .set(static_cast<double>(exec_engine_.mirrored_queries()));
+    m.take_snapshot(engine_.now());
+  }
+}
+
+void AmoebaRuntime::record_decision(const std::string& name,
+                                    const ServiceTickInput& input,
+                                    SwitchDecision decision) {
+  const double now = engine_.now();
+  const double qos = controller_.qos_target(name);
+  if (obs_->audit_on()) {
+    obs::DecisionRecord dr;
+    dr.time_s = now;
+    dr.service = name;
+    dr.platform = to_string(controller_.mode(name));
+    dr.decision = to_string(decision);
+    dr.load_qps = input.load_qps;
+    dr.forecast_load_qps = input.forecast_load_qps;
+    dr.total_pressures = input.total_pressures;
+    dr.qos_target_s = qos;
+    dr.n_containers = std::max(1, input.available_containers);
+    dr.prewarm_target =
+        cfg_.engine.prewarm.containers_for(input.load_qps, qos);
+    dr.votes_to_serverless = controller_.votes_to_serverless(name);
+    dr.votes_to_iaas = controller_.votes_to_iaas(name);
+    dr.observed_p95_s = input.observed_p95;
+    if (const auto& ev = controller_.last_evaluation(name)) {
+      dr.external_pressures = ev->external_pressures;
+      dr.features = ev->features;
+      dr.mu = ev->mu;
+      dr.lambda_max = ev->lambda_max;
+      dr.weights = controller_.estimator(name).weights();
+      if (ev->mu > 0.0) {
+        dr.predicted_service_s = 1.0 / ev->mu;
+        const int n = dr.n_containers;
+        const double r = controller_.config().qos_percentile;
+        // Re-derive the Eq. 5 fixed-point trajectory at the tick's
+        // operating point — the path the discriminant walked, not just
+        // where it landed.
+        (void)queueing::eq5_lambda(n, ev->mu, qos, r, 200,
+                                   &dr.lambda_iterates);
+        if (input.load_qps > 0.0 &&
+            queueing::rho(input.load_qps, n, ev->mu) < 1.0) {
+          dr.predicted_p95_s =
+              queueing::latency_quantile(input.load_qps, n, ev->mu, r);
+        }
+      }
+    }
+    obs_->audit().append(std::move(dr));
+  }
+  if (obs_->metrics_on()) {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m.counter("decisions",
+              {{"service", name}, {"decision", to_string(decision)}})
+        .inc();
+    m.gauge("load_qps", {{"service", name}}).set(input.load_qps);
+    m.gauge("mode", {{"service", name}})
+        .set(controller_.mode(name) == DeployMode::kServerless ? 1.0 : 0.0);
+    m.gauge("available_containers", {{"service", name}})
+        .set(input.available_containers);
+    if (input.observed_p95) {
+      m.gauge("observed_p95_s", {{"service", name}}).set(*input.observed_p95);
+    }
+  }
+  if (obs_->trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    const auto control = tr.track("svc:" + name + "/control");
+    tr.instant(control, "decision", now, "control",
+               {obs::TraceArg::of("decision", std::string(to_string(decision))),
+                obs::TraceArg::of("load_qps", input.load_qps)});
+    tr.counter(tr.track("svc:" + name + "/load"), "load_qps", now,
+               input.load_qps);
+  }
+}
+
+void AmoebaRuntime::record_query(const std::string& service,
+                                 const workload::QueryRecord& rec,
+                                 DeployMode platform) {
+  if (obs_->metrics_on()) {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m.counter("queries", {{"service", service}}).inc();
+    if (rec.cold) m.counter("cold_starts", {{"service", service}}).inc();
+    m.histogram("latency_s", {{"service", service}}).observe(rec.latency());
+    m.histogram("queue_wait_s", {{"service", service}})
+        .observe(rec.breakdown.queue_s);
+  }
+  if (obs_->trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    const auto track = tr.track("svc:" + service + "/queries");
+    const std::uint64_t id = next_query_span_id_++;
+    const double service_s = rec.breakdown.total() - rec.breakdown.queue_s -
+                             rec.breakdown.cold_start_s;
+    tr.async_begin(track, "query", id, rec.arrival, "query");
+    tr.async_end(track, "query", id, rec.completion, "query",
+                 {obs::TraceArg::of("platform", std::string(to_string(platform))),
+                  obs::TraceArg::of("latency_s", rec.latency()),
+                  obs::TraceArg::of("queue_s", rec.breakdown.queue_s),
+                  obs::TraceArg::of("cold_start_s", rec.breakdown.cold_start_s),
+                  obs::TraceArg::of("service_s", service_s),
+                  obs::TraceArg::of("cold", rec.cold ? 1.0 : 0.0)});
+  }
 }
 
 void AmoebaRuntime::sample_timelines() {
@@ -182,7 +328,7 @@ void AmoebaRuntime::sample_timelines() {
     rt.timeline.cpu_core_seconds.add(now, u.cpu_core_seconds);
     rt.timeline.memory_mb_seconds.add(now, u.memory_mb_seconds);
   }
-  timeline_event_ = engine_.schedule_in(cfg_.timeline_period_s,
+  timeline_event_ = engine_.schedule_in(timeline_period(),
                                         [this] { sample_timelines(); });
 }
 

@@ -20,6 +20,7 @@
 #include "core/deployment_controller.hpp"
 #include "core/hybrid_engine.hpp"
 #include "core/resource_accounting.hpp"
+#include "obs/observer.hpp"
 #include "stats/percentile.hpp"
 #include "stats/rate_estimator.hpp"
 #include "stats/timeseries.hpp"
@@ -36,8 +37,16 @@ struct AmoebaConfig {
   /// Horizon (seconds) over which rising load is extrapolated for the
   /// switch-back decision; should cover hysteresis + VM boot. 0 disables.
   double load_anticipation_s = 0.0;
-  /// If > 0, sample per-service timelines (load, mode, usage) this often.
+  /// Period of the per-service timeline sampler (load, mode, usage — the
+  /// Fig. 12/13 data). 0 (the default) follows the monitor sample period;
+  /// negative disables timelines; positive is used as given.
   double timeline_period_s = 0.0;
+  /// Observability sink (non-owning; nullptr = disabled, zero cost). When
+  /// set, every monitor tick appends a DecisionRecord, switch-protocol
+  /// phases and query lifecycles become spans, and labeled metrics update.
+  /// Recording is pure bookkeeping: it never schedules simulation events or
+  /// draws randomness, so enabling it does not change the event-trace hash.
+  obs::Observer* observer = nullptr;
 };
 
 /// Per-service timelines for the paper's Fig. 12/13.
@@ -88,6 +97,13 @@ class AmoebaRuntime {
   /// Current measured load of a service (V_u).
   [[nodiscard]] double measured_load(const std::string& service) const;
 
+  /// Effective timeline sampling period: the configured value, or the
+  /// monitor sample period when the config left it at 0. <= 0 = disabled.
+  [[nodiscard]] double timeline_period() const;
+
+  /// The attached observability sink (nullptr when disabled).
+  [[nodiscard]] obs::Observer* observer() const noexcept { return obs_; }
+
  private:
   struct ServiceRt {
     workload::FunctionProfile profile;
@@ -103,6 +119,14 @@ class AmoebaRuntime {
   ServiceRt& rt_of(const std::string& service);
   const ServiceRt& rt_of(const std::string& service) const;
 
+  /// Append the tick's DecisionRecord + metrics + trace instants for one
+  /// service (observer must be attached).
+  void record_decision(const std::string& name, const ServiceTickInput& input,
+                       SwitchDecision decision);
+  /// Record one completed user query (lifecycle span + latency metrics).
+  void record_query(const std::string& service,
+                    const workload::QueryRecord& rec, DeployMode platform);
+
   sim::Engine& engine_;
   serverless::ServerlessPlatform& serverless_;
   AmoebaConfig cfg_;
@@ -111,6 +135,8 @@ class AmoebaRuntime {
   ContentionMonitor monitor_;
   ResourceAccountant accountant_;
   std::map<std::string, ServiceRt> services_;
+  obs::Observer* obs_ = nullptr;
+  std::uint64_t next_query_span_id_ = 1;
   bool started_ = false;
   sim::EventId timeline_event_ = sim::kNoEvent;
 };

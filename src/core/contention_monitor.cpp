@@ -93,6 +93,28 @@ void ContentionMonitor::on_period() {
     // implies high pressure; the next period will catch up).
   }
   ++samples_taken_;
+  if (obs_ != nullptr && obs_->enabled()) {
+    static constexpr std::array<const char*, kNumResources> kDims = {
+        "cpu", "io", "net"};
+    const double now = engine_.now();
+    if (obs_->metrics_on()) {
+      for (std::size_t i = 0; i < kNumResources; ++i) {
+        obs_->metrics()
+            .gauge("pressure", {{"resource", kDims[i]}})
+            .set(meters_[i].pressure);
+      }
+      obs_->metrics().counter("monitor_ticks").inc();
+    }
+    if (obs_->trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      const auto track = tr.track("monitor");
+      for (std::size_t i = 0; i < kNumResources; ++i) {
+        tr.counter(track, std::string("pressure:") + kDims[i], now,
+                   meters_[i].pressure);
+      }
+      tr.instant(track, "monitor_tick", now, "monitor");
+    }
+  }
   if (on_sample_) on_sample_();
   if (running_) {
     period_event_ =

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "core/profile_data.hpp"
+#include "obs/observer.hpp"
 #include "serverless/platform.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -62,6 +63,10 @@ class ContentionMonitor {
   /// Invoked at the end of every sample period, after pressures update.
   void set_on_sample(std::function<void()> fn) { on_sample_ = std::move(fn); }
 
+  /// Attach the observability sink (non-owning; nullptr disables). Each
+  /// period then updates per-resource pressure gauges and counter tracks.
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
+
   [[nodiscard]] double sample_period() const noexcept {
     return cfg_.sample_period_s;
   }
@@ -98,6 +103,7 @@ class ContentionMonitor {
   sim::EventId period_event_ = sim::kNoEvent;
   std::uint64_t samples_taken_ = 0;
   std::function<void()> on_sample_;
+  obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace amoeba::core

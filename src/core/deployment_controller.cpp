@@ -59,6 +59,7 @@ void DeploymentController::add_service(const std::string& name,
       .votes_to_iaas = 0,
       .last_input = {},
       .has_input = false,
+      .last_eval = {},
   };
   services_.emplace(name, std::move(st));
 }
@@ -168,6 +169,7 @@ SwitchDecision DeploymentController::tick(const std::string& name,
   const bool resident = st.mode == DeployMode::kServerless;
   const Evaluation ev =
       evaluate(name, input.load_qps, input.total_pressures, n, resident);
+  st.last_eval = ev;
 
   // Switching back to IaaS takes hysteresis + the VM boot; judge that
   // direction on the anticipated load so the switch completes before the
@@ -231,6 +233,23 @@ void DeploymentController::set_mode(const std::string& name, DeployMode mode) {
 const WeightEstimator& DeploymentController::estimator(
     const std::string& name) const {
   return state_of(name).estimator;
+}
+
+double DeploymentController::qos_target(const std::string& name) const {
+  return state_of(name).qos_target_s;
+}
+
+const std::optional<Evaluation>& DeploymentController::last_evaluation(
+    const std::string& name) const {
+  return state_of(name).last_eval;
+}
+
+int DeploymentController::votes_to_serverless(const std::string& name) const {
+  return state_of(name).votes_to_serverless;
+}
+
+int DeploymentController::votes_to_iaas(const std::string& name) const {
+  return state_of(name).votes_to_iaas;
 }
 
 std::vector<std::string> DeploymentController::services() const {

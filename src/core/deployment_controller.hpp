@@ -114,6 +114,18 @@ class DeploymentController {
   [[nodiscard]] const WeightEstimator& estimator(
       const std::string& name) const;
 
+  /// QoS latency target registered for the service.
+  [[nodiscard]] double qos_target(const std::string& name) const;
+
+  /// The Evaluation computed by the most recent tick() for the service
+  /// (nullopt before the first tick). Feeds the decision audit log.
+  [[nodiscard]] const std::optional<Evaluation>& last_evaluation(
+      const std::string& name) const;
+
+  /// Current hysteresis vote counts (after the most recent tick).
+  [[nodiscard]] int votes_to_serverless(const std::string& name) const;
+  [[nodiscard]] int votes_to_iaas(const std::string& name) const;
+
   [[nodiscard]] std::vector<std::string> services() const;
   [[nodiscard]] const ControllerConfig& config() const noexcept {
     return cfg_;
@@ -129,6 +141,7 @@ class DeploymentController {
     int votes_to_iaas = 0;
     ServiceTickInput last_input;  ///< cached for co-tenant evaluation
     bool has_input = false;
+    std::optional<Evaluation> last_eval;  ///< introspection for the audit log
   };
 
   [[nodiscard]] std::array<double, kNumResources> external_pressures(

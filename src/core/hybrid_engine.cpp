@@ -5,6 +5,10 @@
 
 namespace amoeba::core {
 
+namespace {
+constexpr char kSwitchCat[] = "switch";
+}
+
 void HybridEngineConfig::validate() const {
   AMOEBA_EXPECTS(mirror_fraction >= 0.0 && mirror_fraction <= 1.0);
   AMOEBA_EXPECTS(prewarm_poll_s > 0.0);
@@ -54,6 +58,31 @@ const HybridExecutionEngine::ServiceState& HybridExecutionEngine::state_of(
   auto it = services_.find(service);
   AMOEBA_EXPECTS_MSG(it != services_.end(), "unknown service: " + service);
   return it->second;
+}
+
+void HybridExecutionEngine::count_switch(const std::string& service,
+                                         const char* to,
+                                         const char* outcome) {
+  if (obs_ == nullptr || !obs_->metrics_on()) return;
+  obs_->metrics()
+      .counter(std::string("switches_") + outcome,
+               {{"service", service}, {"to", to}})
+      .inc();
+}
+
+void HybridExecutionEngine::drain_vm(const std::string& service) {
+  if (!trace_on()) {
+    iaas_.drain_and_stop(service);
+    return;
+  }
+  obs::Tracer& tr = obs_->tracer();
+  const auto track = tr.track("svc:" + service + "/vm");
+  tr.begin(track, "vm:drain", engine_.now(), kSwitchCat);
+  iaas_.drain_and_stop(service, [this, service](bool completed) {
+    obs::Tracer& t = obs_->tracer();
+    t.end(t.track("svc:" + service + "/vm"), "vm:drain", engine_.now(),
+          {obs::TraceArg::of("completed", completed ? 1.0 : 0.0)});
+  });
 }
 
 void HybridExecutionEngine::flush_boot_buffer(const std::string& service) {
@@ -135,8 +164,24 @@ void HybridExecutionEngine::poll_prewarm(
   if (warm_enough) {
     st.switching = false;
     st.route = DeployMode::kServerless;
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      const auto track = tr.track("svc:" + service + "/control");
+      tr.end(track, "prewarm", engine_.now(),
+             {obs::TraceArg::of("idle", static_cast<double>(counts.idle)),
+              obs::TraceArg::of("busy", static_cast<double>(counts.busy))});
+      tr.instant(track, "ack", engine_.now(), kSwitchCat,
+                 {obs::TraceArg::of("needed", static_cast<double>(needed))});
+      tr.instant(track, "route_flip", engine_.now(), kSwitchCat);
+    }
     serverless_.unretire(service);
-    iaas_.drain_and_stop(service);
+    drain_vm(service);
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      tr.end(tr.track("svc:" + service + "/control"), "switch:to_serverless",
+             engine_.now(), {obs::TraceArg::of("completed", 1.0)});
+    }
+    count_switch(service, "serverless", "completed");
     switch_events_.push_back(
         {engine_.now(), service, DeployMode::kServerless, 0.0});
     on_complete(true);
@@ -144,6 +189,18 @@ void HybridExecutionEngine::poll_prewarm(
   }
   if (engine_.now() >= deadline) {
     st.switching = false;  // abort: stay on IaaS
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      const auto track = tr.track("svc:" + service + "/control");
+      tr.end(track, "prewarm", engine_.now(),
+             {obs::TraceArg::of("idle", static_cast<double>(counts.idle)),
+              obs::TraceArg::of("busy", static_cast<double>(counts.busy))});
+      tr.instant(track, "switch_abort", engine_.now(), kSwitchCat,
+                 {obs::TraceArg::of("needed", static_cast<double>(needed))});
+      tr.end(track, "switch:to_serverless", engine_.now(),
+             {obs::TraceArg::of("completed", 0.0)});
+    }
+    count_switch(service, "serverless", "aborted");
     on_complete(false);
     return;
   }
@@ -167,12 +224,30 @@ void HybridExecutionEngine::switch_to_serverless(
   st.switching = true;
   const std::uint64_t generation = ++st.switch_generation;
   serverless_.unretire(service);
+  count_switch(service, "serverless", "started");
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.begin(tr.track("svc:" + service + "/control"), "switch:to_serverless",
+             engine_.now(), kSwitchCat,
+             {obs::TraceArg::of("load_qps", load_qps)});
+  }
 
   if (!cfg_.enable_prewarm) {
     // Amoeba-NoP: flip immediately; queries cold-start on arrival.
     st.switching = false;
     st.route = DeployMode::kServerless;
-    iaas_.drain_and_stop(service);
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      tr.instant(tr.track("svc:" + service + "/control"), "route_flip",
+                 engine_.now(), kSwitchCat);
+    }
+    drain_vm(service);
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      tr.end(tr.track("svc:" + service + "/control"), "switch:to_serverless",
+             engine_.now(), {obs::TraceArg::of("completed", 1.0)});
+    }
+    count_switch(service, "serverless", "completed");
     switch_events_.push_back(
         {engine_.now(), service, DeployMode::kServerless, load_qps});
     on_complete(true);
@@ -182,6 +257,12 @@ void HybridExecutionEngine::switch_to_serverless(
   const int needed = cfg_.prewarm.containers_for(load_qps,
                                                  st.profile.qos_target_s);
   const double deadline = engine_.now() + cfg_.switch_timeout_s;
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.begin(tr.track("svc:" + service + "/control"), "prewarm",
+             engine_.now(), kSwitchCat,
+             {obs::TraceArg::of("needed", static_cast<double>(needed))});
+  }
   serverless_.prewarm(service, needed);
   // Record the load on the event when it completes (poll_prewarm logs 0.0;
   // patch it afterwards via the completion wrapper).
@@ -203,20 +284,50 @@ void HybridExecutionEngine::switch_to_iaas(
   AMOEBA_EXPECTS_MSG(st.route == DeployMode::kServerless, "already on IaaS");
   st.switching = true;
   ++st.switch_generation;
+  count_switch(service, "iaas", "started");
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.begin(tr.track("svc:" + service + "/control"), "switch:to_iaas",
+             engine_.now(), kSwitchCat,
+             {obs::TraceArg::of("load_qps", load_qps)});
+  }
   const std::string name = service;
   iaas_.boot(name, [this, name, load_qps,
                     cb = std::move(on_complete)]() mutable {
     ServiceState& s = state_of(name);
     s.switching = false;
     s.route = DeployMode::kIaas;
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      tr.end(tr.track("svc:" + name + "/vm"), "vm:boot", engine_.now());
+      const auto track = tr.track("svc:" + name + "/control");
+      tr.instant(track, "ack", engine_.now(), kSwitchCat);
+      tr.instant(track, "route_flip", engine_.now(), kSwitchCat);
+    }
     flush_boot_buffer(name);
     // Shutdown signal S_sd: reclaim the containers once their in-flight
     // queries complete.
     serverless_.retire(name);
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      const auto track = tr.track("svc:" + name + "/control");
+      tr.instant(track, "release:containers", engine_.now(), kSwitchCat);
+      tr.end(track, "switch:to_iaas", engine_.now(),
+             {obs::TraceArg::of("completed", 1.0)});
+    }
+    count_switch(name, "iaas", "completed");
     switch_events_.push_back(
         {engine_.now(), name, DeployMode::kIaas, load_qps});
     cb(true);
   });
+  // Emitted after iaas_.boot so a cancelled drain's "vm:drain" end (fired
+  // inline by boot()) lands before this begin — sync spans per track are a
+  // stack and must stay balanced.
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.begin(tr.track("svc:" + service + "/vm"), "vm:boot", engine_.now(),
+             kSwitchCat);
+  }
 }
 
 }  // namespace amoeba::core

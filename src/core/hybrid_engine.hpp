@@ -25,6 +25,7 @@
 #include "core/deployment_controller.hpp"  // DeployMode
 #include "core/prewarm_policy.hpp"
 #include "iaas/platform.hpp"
+#include "obs/observer.hpp"
 #include "serverless/platform.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -89,6 +90,11 @@ class HybridExecutionEngine {
     mirror_observer_ = std::move(obs);
   }
 
+  /// Attach the observability sink (non-owning; nullptr disables). Every
+  /// switch-protocol phase then becomes a span on "svc:<name>/control" and
+  /// the VM boot/drain lifecycle on "svc:<name>/vm".
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
+
   /// Keep the warm set sized to the current load while the service runs
   /// serverless (paper §V-A: the engine "continually monitors the control
   /// signal ... to keep enough warm containers for later queries").
@@ -130,6 +136,15 @@ class HybridExecutionEngine {
                     std::uint64_t generation,
                     std::function<void(bool)> on_complete);
 
+  /// Drain the service's VM, bracketing it in a "vm:drain" span when the
+  /// observer is tracing.
+  void drain_vm(const std::string& service);
+  [[nodiscard]] bool trace_on() const {
+    return obs_ != nullptr && obs_->trace_on();
+  }
+  void count_switch(const std::string& service, const char* to,
+                    const char* outcome);
+
   sim::Engine& engine_;
   serverless::ServerlessPlatform& serverless_;
   iaas::IaasPlatform& iaas_;
@@ -137,6 +152,7 @@ class HybridExecutionEngine {
   sim::Rng rng_;
   std::map<std::string, ServiceState> services_;
   MirrorObserver mirror_observer_;
+  obs::Observer* obs_ = nullptr;
   std::vector<SwitchEvent> switch_events_;
   std::uint64_t mirrored_ = 0;
 };

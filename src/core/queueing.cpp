@@ -122,10 +122,13 @@ std::optional<double> eq5_lambda_step(double lambda_hint, int n, double mu,
 }
 
 std::optional<double> eq5_lambda(int n, double mu, double t_d, double r,
-                                 int max_iters) {
+                                 int max_iters,
+                                 std::vector<double>* iterates) {
   AMOEBA_EXPECTS(max_iters > 0);
+  if (iterates != nullptr) iterates->clear();
   if (t_d <= 1.0 / mu) return std::nullopt;
   double lambda = 0.5 * n * mu;
+  if (iterates != nullptr) iterates->push_back(lambda);
   for (int i = 0; i < max_iters; ++i) {
     const auto next = eq5_lambda_step(lambda, n, mu, t_d, r);
     if (!next.has_value()) return std::nullopt;
@@ -133,6 +136,7 @@ std::optional<double> eq5_lambda(int n, double mu, double t_d, double r,
     // overshoot ρ >= 1 when the target is loose.
     double nl = 0.5 * lambda + 0.5 * *next;
     nl = std::clamp(nl, 1e-9 * n * mu, (1.0 - 1e-9) * n * mu);
+    if (iterates != nullptr) iterates->push_back(nl);
     if (std::abs(nl - lambda) <= 1e-9 * n * mu) {
       lambda = nl;
       break;

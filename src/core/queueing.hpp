@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -58,9 +59,13 @@ namespace amoeba::core::queueing {
                                                     double r);
 
 /// Solve the implicit Eq. 5 by damped fixed-point iteration, starting from
-/// ρ = 0.5. Returns nullopt if no stable λ > 0 satisfies the target.
-[[nodiscard]] std::optional<double> eq5_lambda(int n, double mu, double t_d,
-                                               double r, int max_iters = 200);
+/// ρ = 0.5. Returns nullopt if no stable λ > 0 satisfies the target. When
+/// `iterates` is non-null, each fixed-point iterate (including the starting
+/// point) is appended to it — the decision audit log records this
+/// trajectory; it is cleared and left with the partial path on failure.
+[[nodiscard]] std::optional<double> eq5_lambda(
+    int n, double mu, double t_d, double r, int max_iters = 200,
+    std::vector<double>* iterates = nullptr);
 
 /// Numerically robust alternative: the largest λ with qos_satisfied(),
 /// found by bisection over (0, nμ). Returns nullopt if even λ→0 misses the

@@ -216,6 +216,7 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
       if (!opt.amoeba.has_value()) {
         cfg.timeline_period_s = opt.timeline_period_s;
       }
+      if (opt.observer != nullptr) cfg.observer = opt.observer;
       runtime = std::make_unique<core::AmoebaRuntime>(
           engine, sp, ip, calibration, cfg, rng.fork(3));
       const auto vm_spec = just_enough_vm(foreground, cluster);
@@ -266,7 +267,7 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
     default:
       result.usage = runtime->accountant().usage(fg_name, duration);
       result.switches = runtime->switch_events();
-      if (opt.timeline_period_s > 0.0) {
+      if (runtime->timeline_period() > 0.0) {
         result.timeline = runtime->timeline(fg_name);
       }
       break;

@@ -88,6 +88,8 @@ struct ManagedRunOptions {
   double warmup_s = 60.0;
   bool with_background = true;   ///< float/dd/cloud_stor at low peak (§VII-A)
   double background_peak_fraction = 0.30;
+  /// Forwarded to AmoebaConfig::timeline_period_s: 0 follows the monitor
+  /// sample period, negative disables timelines, positive as given.
   double timeline_period_s = 0.0;
   std::uint64_t seed = 42;
   /// Per-service container limit (paper §IV-A's n_max), as a multiple of
@@ -99,6 +101,10 @@ struct ManagedRunOptions {
   bool keep_records = false;
   /// Overrides for ablation studies; defaults follow AmoebaConfig.
   std::optional<core::AmoebaConfig> amoeba;
+  /// Observability sink attached to the Amoeba runtime (non-owning;
+  /// nullptr = disabled). Ignored by the pure baselines, which have no
+  /// control loop to observe. Takes precedence over `amoeba->observer`.
+  obs::Observer* observer = nullptr;
 };
 
 struct ManagedRunResult {

@@ -47,8 +47,10 @@ void IaasPlatform::boot(const std::string& service,
   vm(service).boot(std::move(on_ready));
 }
 
-void IaasPlatform::drain_and_stop(const std::string& service) {
-  vm(service).drain_and_stop();
+void IaasPlatform::drain_and_stop(
+    const std::string& service,
+    std::function<void(bool completed)> on_drained) {
+  vm(service).drain_and_stop(std::move(on_drained));
 }
 
 VmState IaasPlatform::state(const std::string& service) const {

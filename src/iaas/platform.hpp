@@ -30,7 +30,9 @@ class IaasPlatform {
   [[nodiscard]] bool has_service(const std::string& name) const;
 
   void boot(const std::string& service, std::function<void()> on_ready);
-  void drain_and_stop(const std::string& service);
+  /// See VirtualMachine::drain_and_stop for the callback contract.
+  void drain_and_stop(const std::string& service,
+                      std::function<void(bool completed)> on_drained = {});
 
   [[nodiscard]] VmState state(const std::string& service) const;
   [[nodiscard]] bool is_running(const std::string& service) const {

@@ -61,6 +61,7 @@ void VirtualMachine::boot(std::function<void()> on_ready) {
     case VmState::kDraining:
       // Cancel the drain: the VM never went down.
       state_ = VmState::kRunning;
+      notify_drained(false);
       engine_.schedule_in(0.0, std::move(on_ready));
       return;
     case VmState::kStopped:
@@ -78,19 +79,26 @@ void VirtualMachine::boot(std::function<void()> on_ready) {
                       });
 }
 
-void VirtualMachine::drain_and_stop() {
+void VirtualMachine::drain_and_stop(
+    std::function<void(bool completed)> on_drained) {
   advance_accounting(engine_.now());
   switch (state_) {
     case VmState::kStopped:
+      if (on_drained) on_drained(true);
+      return;
     case VmState::kDraining:
+      // Join the drain already in progress.
+      if (on_drained) drain_callbacks_.push_back(std::move(on_drained));
       return;
     case VmState::kBooting:
       // Abort the boot outright; nothing is in flight.
       ++boot_generation_;
       state_ = VmState::kStopped;
+      if (on_drained) on_drained(true);
       return;
     case VmState::kRunning:
       state_ = VmState::kDraining;
+      if (on_drained) drain_callbacks_.push_back(std::move(on_drained));
       maybe_finish_drain();
       return;
   }
@@ -100,7 +108,15 @@ void VirtualMachine::maybe_finish_drain() {
   if (state_ == VmState::kDraining && in_flight_ == 0) {
     advance_accounting(engine_.now());
     state_ = VmState::kStopped;
+    notify_drained(true);
   }
+}
+
+void VirtualMachine::notify_drained(bool completed) {
+  // Move out first: a callback may start a new drain on this VM.
+  std::vector<std::function<void(bool)>> cbs = std::move(drain_callbacks_);
+  drain_callbacks_.clear();
+  for (auto& cb : cbs) cb(completed);
 }
 
 void VirtualMachine::submit(workload::QueryCompletionFn on_done) {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/fair_share.hpp"
@@ -45,8 +46,12 @@ class VirtualMachine {
   void boot(std::function<void()> on_ready);
 
   /// Stop accepting work; transition to kStopped (releasing the rented
-  /// resources) once in-flight queries complete.
-  void drain_and_stop();
+  /// resources) once in-flight queries complete. `on_drained(true)` fires
+  /// when the VM reaches kStopped (immediately if nothing is in flight);
+  /// `on_drained(false)` if a boot() cancels the drain first. The callback
+  /// is invoked inline from existing state transitions — no extra
+  /// simulation events are scheduled on its behalf.
+  void drain_and_stop(std::function<void(bool completed)> on_drained = {});
 
   /// Serve one query; requires kRunning.
   void submit(workload::QueryCompletionFn on_done);
@@ -70,6 +75,7 @@ class VirtualMachine {
  private:
   void advance_accounting(sim::Time now);
   void maybe_finish_drain();
+  void notify_drained(bool completed);
 
   sim::Engine& engine_;
   workload::FunctionProfile profile_;
@@ -79,6 +85,7 @@ class VirtualMachine {
   sim::FairShareResource disk_;
   sim::FairShareResource net_;
   VmState state_ = VmState::kStopped;
+  std::vector<std::function<void(bool)>> drain_callbacks_;
   int in_flight_ = 0;
   std::uint64_t boot_generation_ = 0;  ///< invalidates stale boot events
   std::uint64_t next_query_id_ = 1;

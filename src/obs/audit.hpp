@@ -1,0 +1,75 @@
+// Structured decision audit log.
+//
+// Every monitor tick, the runtime appends one DecisionRecord per managed
+// service capturing exactly what the controller saw (load, pressures,
+// surfaces/features, PCA weights) and what it concluded (μ, the Eq. 5
+// fixed-point trajectory, λ_max, predicted tail latency, vote state, the
+// decision, and the Eq. 7 prewarm target). The log is append-only and kept
+// entirely in memory; the exporters serialize it to JSONL on demand.
+//
+// This header intentionally depends on nothing from src/core/ — platform and
+// decision are carried as strings so the obs library stays below core in the
+// link order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amoeba::obs {
+
+/// Number of contended resource dimensions (mirrors
+/// core::WeightEstimator::kNumResources).
+inline constexpr std::size_t kAuditResources = 3;
+
+/// Inputs and conclusions of one controller evaluation for one service.
+struct DecisionRecord {
+  double time_s = 0.0;
+  std::string service;
+  std::string platform;  ///< mode before the decision applied
+  std::string decision;  ///< stay / switch_to_serverless / ... / transitioning
+
+  // Measured inputs (V_u, P).
+  double load_qps = 0.0;
+  double forecast_load_qps = 0.0;
+  std::array<double, kAuditResources> total_pressures{};
+  std::array<double, kAuditResources> external_pressures{};
+  std::array<double, kAuditResources> features{};
+
+  // Model state (Eq. 6 weights, service rate, Eq. 1-5 discriminant).
+  std::optional<std::array<double, kAuditResources>> weights;
+  double mu = 0.0;                  ///< estimated service rate (1/s)
+  double predicted_service_s = 0.0; ///< 1/μ when μ > 0
+  std::vector<double> lambda_iterates;  ///< Eq. 5 fixed-point trajectory
+  std::optional<double> lambda_max;     ///< discriminant λ_max (Eq. 1-5)
+  std::optional<double> predicted_p95_s;
+  std::optional<double> observed_p95_s;
+
+  // Capacity and hysteresis state.
+  double qos_target_s = 0.0;
+  int n_containers = 0;
+  int prewarm_target = 0;  ///< Eq. 7 count for the current load
+  int votes_to_serverless = 0;
+  int votes_to_iaas = 0;
+};
+
+/// Append-only in-memory decision log.
+class AuditLog {
+ public:
+  void append(DecisionRecord record) {
+    records_.push_back(std::move(record));
+  }
+
+  [[nodiscard]] const std::vector<DecisionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace amoeba::obs

@@ -1,0 +1,85 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+namespace amoeba::obs {
+
+std::uint32_t Tracer::track(const std::string& name) {
+  auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(track_names_.size());
+  track_ids_.emplace(name, id);
+  track_names_.push_back(name);
+  open_depth_.push_back(0);
+  return id;
+}
+
+void Tracer::begin(std::uint32_t track, std::string name, double ts_s,
+                   std::string category, TraceArgs args) {
+  AMOEBA_EXPECTS(track < track_names_.size());
+  const std::size_t before = events_.size();
+  push({TracePhase::kBegin, ts_s, track, 0, std::move(name),
+        std::move(category), std::move(args)});
+  if (events_.size() > before) {
+    ++open_depth_[track];
+    ++open_spans_;
+  }
+}
+
+void Tracer::end(std::uint32_t track, std::string name, double ts_s,
+                 TraceArgs args) {
+  AMOEBA_EXPECTS(track < track_names_.size());
+  if (open_depth_[track] == 0) {
+    // Either the matching begin was dropped at the cap or the caller is
+    // unbalanced; drop the end too so exported traces stay well formed.
+    ++dropped_;
+    return;
+  }
+  --open_depth_[track];
+  --open_spans_;
+  push({TracePhase::kEnd, ts_s, track, 0, std::move(name), {},
+        std::move(args)},
+       /*force=*/true);
+}
+
+void Tracer::instant(std::uint32_t track, std::string name, double ts_s,
+                     std::string category, TraceArgs args) {
+  AMOEBA_EXPECTS(track < track_names_.size());
+  push({TracePhase::kInstant, ts_s, track, 0, std::move(name),
+        std::move(category), std::move(args)});
+}
+
+void Tracer::counter(std::uint32_t track, std::string name, double ts_s,
+                     double value) {
+  AMOEBA_EXPECTS(track < track_names_.size());
+  TraceArgs args;
+  args.push_back(TraceArg::of("value", value));
+  push({TracePhase::kCounter, ts_s, track, 0, std::move(name), {},
+        std::move(args)});
+}
+
+void Tracer::async_begin(std::uint32_t track, std::string name,
+                         std::uint64_t async_id, double ts_s,
+                         std::string category, TraceArgs args) {
+  AMOEBA_EXPECTS(track < track_names_.size());
+  push({TracePhase::kAsyncBegin, ts_s, track, async_id, std::move(name),
+        std::move(category), std::move(args)});
+}
+
+void Tracer::async_end(std::uint32_t track, std::string name,
+                       std::uint64_t async_id, double ts_s,
+                       std::string category, TraceArgs args) {
+  AMOEBA_EXPECTS(track < track_names_.size());
+  push({TracePhase::kAsyncEnd, ts_s, track, async_id, std::move(name),
+        std::move(category), std::move(args)});
+}
+
+void Tracer::push(TraceEvent ev, bool force) {
+  if (!force && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+}  // namespace amoeba::obs

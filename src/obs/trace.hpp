@@ -1,0 +1,113 @@
+// Sim-time span tracer.
+//
+// Records begin/end spans, instants, counter samples and async (overlapping)
+// spans against named tracks, timestamped exclusively with simulation time —
+// never wall clock — so two runs of the same seed produce byte-identical
+// traces. Recording is pure bookkeeping: the tracer never schedules events,
+// draws randomness, or otherwise touches the simulation, which is what lets
+// the determinism checker assert that enabling tracing leaves the engine's
+// event-trace hash unchanged.
+//
+// The event buffer is capped; once full, new spans/instants are counted as
+// dropped rather than stored. End events for spans that already began are
+// always admitted so every recorded 'B' keeps its matching 'E'.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::obs {
+
+/// One argument attached to a trace event (numeric or string).
+struct TraceArg {
+  std::string key;
+  std::string str;    ///< used when !numeric
+  double num = 0.0;   ///< used when numeric
+  bool numeric = false;
+
+  static TraceArg of(std::string key, double value) {
+    return {std::move(key), {}, value, true};
+  }
+  static TraceArg of(std::string key, std::string value) {
+    return {std::move(key), std::move(value), 0.0, false};
+  }
+};
+
+using TraceArgs = std::vector<TraceArg>;
+
+/// Chrome trace_event phases used by this tracer.
+enum class TracePhase : char {
+  kBegin = 'B',       ///< synchronous span open (nested per track)
+  kEnd = 'E',         ///< synchronous span close
+  kInstant = 'i',     ///< point event
+  kCounter = 'C',     ///< counter sample
+  kAsyncBegin = 'b',  ///< overlapping span open (matched by id)
+  kAsyncEnd = 'e',    ///< overlapping span close
+};
+
+struct TraceEvent {
+  TracePhase phase = TracePhase::kInstant;
+  double ts_s = 0.0;  ///< simulation time, seconds
+  std::uint32_t track = 0;
+  std::uint64_t async_id = 0;  ///< for kAsyncBegin/kAsyncEnd
+  std::string name;
+  std::string category;
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_events = std::size_t{1} << 21)
+      : max_events_(max_events) {}
+
+  /// Intern a track (Perfetto "thread") by name; idempotent.
+  std::uint32_t track(const std::string& name);
+
+  void begin(std::uint32_t track, std::string name, double ts_s,
+             std::string category = {}, TraceArgs args = {});
+  void end(std::uint32_t track, std::string name, double ts_s,
+           TraceArgs args = {});
+  void instant(std::uint32_t track, std::string name, double ts_s,
+               std::string category = {}, TraceArgs args = {});
+  void counter(std::uint32_t track, std::string name, double ts_s,
+               double value);
+  void async_begin(std::uint32_t track, std::string name,
+                   std::uint64_t async_id, double ts_s,
+                   std::string category = {}, TraceArgs args = {});
+  void async_end(std::uint32_t track, std::string name,
+                 std::uint64_t async_id, double ts_s,
+                 std::string category = {}, TraceArgs args = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Track names indexed by track id.
+  [[nodiscard]] const std::vector<std::string>& track_names() const noexcept {
+    return track_names_;
+  }
+  /// Events rejected because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Currently open synchronous spans across all tracks.
+  [[nodiscard]] std::uint64_t open_spans() const noexcept {
+    return open_spans_;
+  }
+
+ private:
+  /// Admit an event unless the cap is hit (`force` bypasses the cap so that
+  /// matching end events always land).
+  void push(TraceEvent ev, bool force = false);
+
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> track_names_;
+  std::map<std::string, std::uint32_t> track_ids_;
+  std::vector<std::uint32_t> open_depth_;  ///< per track, for E admission
+  std::uint64_t open_spans_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace amoeba::obs

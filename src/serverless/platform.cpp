@@ -54,6 +54,25 @@ const workload::FunctionProfile& ServerlessPlatform::profile(
   return state_of(name).profile;
 }
 
+std::vector<std::string> ServerlessPlatform::function_names() const {
+  std::vector<std::string> out;
+  out.reserve(functions_.size());
+  for (const auto& [name, st] : functions_) out.push_back(name);
+  return out;
+}
+
+void ServerlessPlatform::trace_container(const std::string& function,
+                                         ContainerId cid, bool begin) {
+  if (obs_ == nullptr || !obs_->trace_on()) return;
+  amoeba::obs::Tracer& tr = obs_->tracer();
+  const auto track = tr.track("svc:" + function + "/pool");
+  if (begin) {
+    tr.async_begin(track, "container_boot", cid, engine_.now(), "pool");
+  } else {
+    tr.async_end(track, "container_boot", cid, engine_.now(), "pool");
+  }
+}
+
 ServerlessPlatform::FunctionState& ServerlessPlatform::state_of(
     const std::string& function) {
   auto it = functions_.find(function);
@@ -105,6 +124,7 @@ int ServerlessPlatform::prewarm(const std::string& function, int count) {
         function, st.profile.memory_mb, sample_cold_start(),
         [this, function](ContainerId id) { on_container_ready(function, id); });
     if (!cid.has_value()) break;
+    trace_container(function, *cid, /*begin=*/true);
     ++started;
   }
   return started;
@@ -128,6 +148,7 @@ void ServerlessPlatform::pump(const std::string& function) {
         function, st.profile.memory_mb, sample_cold_start(),
         [this, function](ContainerId id) { on_container_ready(function, id); });
     if (!cid.has_value()) break;
+    trace_container(function, *cid, /*begin=*/true);
     st.bound.emplace(*cid, std::move(st.queue.front()));
     st.queue.pop_front();
   }
@@ -135,6 +156,7 @@ void ServerlessPlatform::pump(const std::string& function) {
 
 void ServerlessPlatform::on_container_ready(const std::string& function,
                                             ContainerId cid) {
+  trace_container(function, cid, /*begin=*/false);
   FunctionState& st = state_of(function);
   auto it = st.bound.find(cid);
   if (it != st.bound.end()) {

@@ -23,7 +23,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "obs/observer.hpp"
 #include "serverless/container_pool.hpp"
 #include "serverless/invocation.hpp"
 #include "sim/engine.hpp"
@@ -81,6 +83,12 @@ class ServerlessPlatform {
   [[nodiscard]] bool has_function(const std::string& name) const;
   [[nodiscard]] const workload::FunctionProfile& profile(
       const std::string& name) const;
+  /// Registered function names (deterministic map order).
+  [[nodiscard]] std::vector<std::string> function_names() const;
+
+  /// Attach the observability sink (non-owning; nullptr disables). Each
+  /// container boot then becomes an async span on "svc:<fn>/pool".
+  void set_observer(amoeba::obs::Observer* observer) { obs_ = observer; }
 
   /// Submit one query; `on_done` fires at completion with the full record.
   void submit(const std::string& function, QueryCompletionFn on_done);
@@ -163,6 +171,8 @@ class ServerlessPlatform {
   };
 
   void on_container_ready(const std::string& function, ContainerId cid);
+  void trace_container(const std::string& function, ContainerId cid,
+                       bool begin);
 
   FunctionState& state_of(const std::string& function);
   const FunctionState& state_of(const std::string& function) const;
@@ -189,6 +199,7 @@ class ServerlessPlatform {
   sim::FairShareResource net_;
   ContainerPool pool_;
   std::map<std::string, FunctionState> functions_;
+  amoeba::obs::Observer* obs_ = nullptr;
   std::uint64_t next_query_id_ = 1;
 };
 

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
+#include "obs/exporters.hpp"
+#include "obs/json.hpp"
 #include "workload/load_generator.hpp"
 #include "workload/meters.hpp"
 
@@ -231,6 +234,105 @@ TEST(AmoebaRuntime, TimelineSamplingRecordsModeAndUsage) {
   for (std::size_t i = 1; i < cpu.size(); ++i) {
     EXPECT_GE(cpu[i].value, cpu[i - 1].value - 1e-9);
   }
+}
+
+TEST(AmoebaRuntime, TimelinePeriodDefaultsToMonitorSamplePeriod) {
+  {
+    Fixture f;  // runtime_config() leaves timeline_period_s at 0
+    EXPECT_DOUBLE_EQ(f.runtime.timeline_period(), 2.0);
+    f.runtime.start();
+    f.engine.run_until(21.0);
+    f.runtime.stop();
+    // One sample per monitor period (the t=0 sample precedes start()).
+    EXPECT_GE(f.runtime.timeline("svc").mode.size(), 10u);
+  }
+  {
+    auto cfg = runtime_config();
+    cfg.timeline_period_s = -1.0;  // negative disables
+    Fixture f(cfg);
+    EXPECT_LT(f.runtime.timeline_period(), 0.0);
+    f.runtime.start();
+    f.engine.run_until(21.0);
+    f.runtime.stop();
+    EXPECT_EQ(f.runtime.timeline("svc").mode.size(), 0u);
+  }
+  {
+    auto cfg = runtime_config();
+    cfg.timeline_period_s = 0.5;  // positive used as given
+    Fixture f(cfg);
+    EXPECT_DOUBLE_EQ(f.runtime.timeline_period(), 0.5);
+  }
+}
+
+TEST(AmoebaRuntime, ObservabilityRecordsDecisionsAndSpans) {
+  obs::Observer observer{obs::ObsConfig{}};
+  auto cfg = runtime_config();
+  cfg.observer = &observer;
+  Fixture f(cfg, /*max_containers=*/4);
+  f.runtime.start();
+  auto gen = std::make_unique<workload::ConstantLoadGenerator>(
+      f.engine, sim::Rng(6), 4.0, [&] {
+        f.runtime.submit("svc", [](const workload::QueryRecord&) {});
+      });
+  gen->start();
+  f.engine.schedule(60.0, [&] { gen->set_rate(80.0); });  // force a swing
+  f.engine.run_until(140.0);
+  gen->stop();
+  f.runtime.stop();
+
+  // One DecisionRecord per monitor tick for the managed service.
+  EXPECT_EQ(observer.audit().size(), f.runtime.monitor().samples_taken());
+  bool saw_full_record = false;
+  for (const auto& r : observer.audit().records()) {
+    EXPECT_EQ(r.service, "svc");
+    EXPECT_FALSE(r.decision.empty());
+    if (r.lambda_max.has_value()) {
+      saw_full_record = true;
+      EXPECT_FALSE(r.lambda_iterates.empty());
+      EXPECT_GT(r.mu, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_full_record);
+
+  // The swing produced at least one switch-protocol span and the pool
+  // produced container-boot async spans.
+  std::size_t switch_spans = 0, query_spans = 0, boot_spans = 0;
+  for (const auto& ev : observer.tracer().events()) {
+    if (ev.phase == obs::TracePhase::kBegin && ev.category == "switch") {
+      ++switch_spans;
+    }
+    if (ev.phase == obs::TracePhase::kAsyncBegin) {
+      if (ev.name == "query") ++query_spans;
+      if (ev.name == "container_boot") ++boot_spans;
+    }
+  }
+  EXPECT_GE(switch_spans, 2u);
+  EXPECT_GT(query_spans, 100u);
+  EXPECT_GE(boot_spans, 1u);
+  EXPECT_EQ(observer.tracer().open_spans(), 0u);
+
+  // Metrics were snapshotted each tick (plus stop()'s final snapshot) and
+  // the exporters accept the run.
+  EXPECT_EQ(observer.metrics().snapshots().size(),
+            f.runtime.monitor().samples_taken() + 1);
+  std::ostringstream trace_os, summary_os;
+  obs::write_chrome_trace(observer.tracer(), trace_os);
+  EXPECT_TRUE(obs::parse_json(trace_os.str()).has_value());
+  obs::write_summary(observer, summary_os);
+  EXPECT_NE(summary_os.str().find("decisions"), std::string::npos);
+}
+
+TEST(AmoebaRuntime, DisabledObserverRecordsNothing) {
+  obs::Observer observer;  // default-constructed null sink
+  auto cfg = runtime_config();
+  cfg.observer = &observer;
+  Fixture f(cfg);
+  f.runtime.start();
+  f.engine.run_until(20.0);
+  f.runtime.stop();
+  EXPECT_TRUE(observer.audit().empty());
+  EXPECT_TRUE(observer.tracer().events().empty());
+  EXPECT_TRUE(observer.metrics().snapshots().empty());
 }
 
 TEST(AmoebaRuntime, MeasuredLoadTracksGenerator) {

@@ -19,6 +19,7 @@
 
 #include "exp/profiling.hpp"
 #include "exp/scenario.hpp"
+#include "obs/observer.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 
@@ -116,6 +117,31 @@ TEST(Determinism, ControlLoopTraceIsIdenticalUnderSameSeed) {
   EXPECT_EQ(a.switches.size(), b.switches.size());
   EXPECT_DOUBLE_EQ(a.p95(), b.p95());
   EXPECT_DOUBLE_EQ(a.usage.cpu_core_seconds, b.usage.cpu_core_seconds);
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbTheSimulation) {
+  // The observability layer is pure bookkeeping (no scheduled events, no
+  // randomness), so a fully instrumented run must execute the exact same
+  // simulator event trace as an uninstrumented run of the same seed.
+  const auto& s = setup();
+  const auto plain = run_managed(s.foreground, DeploySystem::kAmoeba,
+                                 s.cluster, s.calibration, s.artifacts,
+                                 options(7));
+  obs::Observer observer{obs::ObsConfig{}};
+  auto opt = options(7);
+  opt.observer = &observer;
+  const auto observed = run_managed(s.foreground, DeploySystem::kAmoeba,
+                                    s.cluster, s.calibration, s.artifacts,
+                                    opt);
+  EXPECT_EQ(plain.trace_hash, observed.trace_hash)
+      << "enabling observability changed the executed event trace";
+  EXPECT_EQ(stream_hash(plain), stream_hash(observed));
+  EXPECT_EQ(plain.queries, observed.queries);
+  // ...and the observer did record the run it watched.
+  EXPECT_FALSE(observer.audit().empty());
+  EXPECT_FALSE(observer.tracer().events().empty());
+  EXPECT_FALSE(observer.metrics().snapshots().empty());
+  EXPECT_EQ(observer.tracer().open_spans(), 0u);
 }
 
 TEST(Determinism, ControlLoopTraceDivergesUnderDifferentSeed) {

@@ -1,0 +1,157 @@
+// Chrome trace_event exporter: golden-file stability plus structural
+// validity (valid JSON, monotone timestamps, balanced B/E per track).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exporters.hpp"
+#include "obs/json.hpp"
+
+namespace amoeba::obs {
+namespace {
+
+std::string golden_path() {
+  return std::string(AMOEBA_TEST_DATA_DIR) + "/obs/data/chrome_trace.golden.json";
+}
+
+/// A small fully deterministic trace exercising every event kind.
+Tracer sample_tracer() {
+  Tracer t;
+  const auto control = t.track("svc:web/control");
+  const auto pool = t.track("svc:web/pool");
+  t.counter(control, "load_qps", 0.5, 3.25);
+  t.begin(control, "switch:to_serverless", 1.0, "switch",
+          {TraceArg::of("load_qps", 12.5)});
+  t.begin(control, "prewarm", 1.0, "switch", {TraceArg::of("needed", 3.0)});
+  t.async_begin(pool, "container_boot", 7, 1.0, "pool");
+  t.instant(control, "decision", 1.5, "control",
+            {TraceArg::of("decision", std::string("stay"))});
+  t.async_end(pool, "container_boot", 7, 2.0, "pool");
+  t.end(control, "prewarm", 2.25, {TraceArg::of("idle", 3.0)});
+  t.end(control, "switch:to_serverless", 2.5,
+        {TraceArg::of("completed", 1.0)});
+  return t;
+}
+
+TEST(ChromeTraceExport, MatchesGoldenFile) {
+  Tracer t = sample_tracer();
+  std::ostringstream got;
+  write_chrome_trace(t, got);
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.is_open()) << "missing golden file: " << golden_path();
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got.str(), want.str())
+      << "exporter output drifted from the golden file; if the change is "
+         "intentional, regenerate tests/obs/data/chrome_trace.golden.json";
+}
+
+TEST(ChromeTraceExport, GoldenIsValidJson) {
+  Tracer t = sample_tracer();
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 8 recorded events + 2 metadata pairs per track.
+  EXPECT_EQ(events->array.size(), 8u + 2u * 2u);
+}
+
+struct ParsedEvents {
+  std::vector<JsonValue> events;  ///< non-metadata, in file order
+};
+
+ParsedEvents parse_trace(const Tracer& t) {
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  auto doc = parse_json(os.str());
+  EXPECT_TRUE(doc.has_value());
+  ParsedEvents out;
+  for (const auto& ev : doc->at("traceEvents").array) {
+    if (ev.at("ph").string == "M") continue;
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
+TEST(ChromeTraceExport, TimestampsAreMonotoneNonDecreasing) {
+  ParsedEvents p = parse_trace(sample_tracer());
+  ASSERT_FALSE(p.events.empty());
+  double prev = p.events.front().at("ts").number;
+  for (const auto& ev : p.events) {
+    const double ts = ev.at("ts").number;
+    EXPECT_GE(ts, prev);
+    prev = ts;
+  }
+  // Timestamps are microseconds of simulation time.
+  EXPECT_DOUBLE_EQ(p.events.front().at("ts").number, 0.5e6);
+}
+
+TEST(ChromeTraceExport, SyncSpansBalancePerTrack) {
+  ParsedEvents p = parse_trace(sample_tracer());
+  std::map<double, int> depth;  // tid -> open B count
+  for (const auto& ev : p.events) {
+    const std::string& ph = ev.at("ph").string;
+    const double tid = ev.at("tid").number;
+    if (ph == "B") ++depth[tid];
+    if (ph == "E") {
+      EXPECT_GT(depth[tid], 0) << "E without matching B on tid " << tid;
+      --depth[tid];
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced span stack on tid " << tid;
+  }
+}
+
+TEST(ChromeTraceExport, AsyncEventsCarryMatchingIds) {
+  ParsedEvents p = parse_trace(sample_tracer());
+  std::string begin_id, end_id;
+  for (const auto& ev : p.events) {
+    const std::string& ph = ev.at("ph").string;
+    if (ph == "b") begin_id = ev.at("id").string;
+    if (ph == "e") end_id = ev.at("id").string;
+  }
+  EXPECT_FALSE(begin_id.empty());
+  EXPECT_EQ(begin_id, end_id);
+}
+
+TEST(Tracer, CapDropsNewSpansButAdmitsMatchingEnds) {
+  Tracer t(/*max_events=*/2);
+  const auto tr = t.track("x");
+  t.begin(tr, "a", 0.0);
+  t.begin(tr, "b", 1.0);  // fills the buffer
+  t.instant(tr, "dropped", 2.0);
+  EXPECT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+  // Ends of already-open spans are forced in so every B keeps its E.
+  t.end(tr, "b", 3.0);
+  t.end(tr, "a", 4.0);
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.open_spans(), 0u);
+  // An unmatched E (nothing open) is dropped, not stored.
+  t.end(tr, "phantom", 5.0);
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+}
+
+TEST(Tracer, TracksAreInternedIdempotently) {
+  Tracer t;
+  EXPECT_EQ(t.track("a"), t.track("a"));
+  EXPECT_NE(t.track("a"), t.track("b"));
+  ASSERT_EQ(t.track_names().size(), 2u);
+  EXPECT_EQ(t.track_names()[0], "a");
+}
+
+}  // namespace
+}  // namespace amoeba::obs

@@ -9,6 +9,10 @@ Checks (all are hard failures):
     std RNG engines (`std::mt19937`, `std::random_device`, ...) outside
     src/sim/random.* — all stochastic behaviour must flow through
     amoeba::sim::Rng so simulations stay seed-deterministic;
+  * no stdout writes in library code: `std::cout` / bare `printf(` are
+    banned under src/ — library diagnostics flow through caller-supplied
+    std::ostream& (see src/obs/exporters.hpp); stderr remains legal for
+    fatal contract messages;
   * build listings: every .cpp under src/, tests/ and bench/ is listed in
     the corresponding CMakeLists.txt (an unlisted file silently drops its
     tests/symbols from the build).
@@ -38,6 +42,13 @@ STD_RNG = re.compile(
     r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|"
     r"ranlux\w+|knuth_b)\b")
 STD_RNG_ALLOWED = {Path("src/sim/random.hpp"), Path("src/sim/random.cpp")}
+
+# Library code (src/) must not write to stdout: output belongs to the
+# binaries (examples/, bench/), and library diagnostics go through a
+# caller-supplied std::ostream&. `std::fprintf(stderr, ...)` stays legal
+# for fatal contract diagnostics; the lookbehind keeps `fprintf` /
+# `snprintf` out of the bare-printf match.
+STDOUT_IN_SRC = re.compile(r"std::cout\b|std::printf\b|(?<![\w.:>])printf\s*\(")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
@@ -102,6 +113,11 @@ def check_file(path: Path, errors: list[str]):
             errors.append(
                 f"{rel}:{lineno}: std random engine outside src/sim/random.* "
                 f"(use amoeba::sim::Rng for seed-determinism)")
+        if rel.parts[0] == "src" and STDOUT_IN_SRC.search(code):
+            errors.append(
+                f"{rel}:{lineno}: stdout write in library code "
+                f"(std::cout/printf): write to a caller-supplied "
+                f"std::ostream& instead")
 
     if path.suffix in (".hpp", ".h"):
         if re.search(r"#\s*ifndef\s+\w+_H(PP)?_?\b", text):
