@@ -5,11 +5,13 @@
 // disk cliff is steepest — and reports QoS violations vs resource savings.
 // Horizon 0 reproduces a purely reactive controller.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amoeba;
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto cluster = bench::bench_cluster();
   const auto prof = bench::bench_profiling();
   exp::print_banner(std::cout, "Ablation",
@@ -23,27 +25,33 @@ int main() {
   const auto nameko = exp::run_managed(p, exp::DeploySystem::kNameko, cluster,
                                        cal, art, base_opt);
 
+  const std::vector<double> horizons = {0.0, 20.0, 40.0, 80.0};
+  exp::SweepExecutor exec(jobs);
+  const auto runs = exec.map<exp::ManagedRunResult>(
+      horizons, [&](double horizon) {
+        auto opt = base_opt;
+        // run_managed's defaults set a 40 s horizon; pass an explicit config
+        // mirroring those defaults with only the horizon overridden.
+        core::AmoebaConfig ac;
+        ac.controller.to_serverless_margin = 0.60;
+        ac.controller.to_iaas_margin = 0.80;
+        ac.controller.hysteresis_ticks = 2;
+        ac.engine.mirror_fraction = 0.08;
+        ac.engine.prewarm.headroom = 1.25;
+        ac.monitor.sample_period_s = 5.0;
+        ac.estimator.min_samples = 24;
+        ac.load_anticipation_s = horizon;
+        opt.amoeba = ac;
+        return exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster, cal,
+                                art, opt);
+      });
+
   exp::Table table({"anticipation (s)", "p95/QoS", "violations", "cpu saved",
                     "mem saved", "switches"});
-  for (double horizon : {0.0, 20.0, 40.0, 80.0}) {
-    auto opt = base_opt;
-    // run_managed's defaults set a 40 s horizon; pass an explicit config
-    // mirroring those defaults with only the horizon overridden.
-    core::AmoebaConfig ac;
-    ac.controller.to_serverless_margin = 0.60;
-    ac.controller.to_iaas_margin = 0.80;
-    ac.controller.hysteresis_ticks = 2;
-    ac.engine.mirror_fraction = 0.08;
-    ac.engine.prewarm.headroom = 1.25;
-    ac.monitor.sample_period_s = 5.0;
-    ac.estimator.min_samples = 24;
-    ac.load_anticipation_s = horizon;
-    opt.amoeba = ac;
-
-    const auto r = exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster,
-                                    cal, art, opt);
+  for (std::size_t i = 0; i < horizons.size(); ++i) {
+    const auto& r = runs[i];
     table.add_row(
-        {exp::fmt_fixed(horizon, 0),
+        {exp::fmt_fixed(horizons[i], 0),
          exp::fmt_fixed(r.p95() / p.qos_target_s, 2),
          exp::fmt_percent(r.violation_fraction()),
          exp::fmt_percent(1.0 - r.usage.cpu_core_seconds /

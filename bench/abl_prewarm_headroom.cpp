@@ -2,11 +2,13 @@
 // prewarmed containers result in expensive costs" and "fewer ones result
 // in potential QoS violation", on the tight-QoS benchmark (float).
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amoeba;
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto cluster = bench::bench_cluster();
   const auto prof = bench::bench_profiling();
   exp::print_banner(std::cout, "Ablation", "prewarm headroom (float)");
@@ -18,22 +20,29 @@ int main() {
   const auto nameko = exp::run_managed(p, exp::DeploySystem::kNameko, cluster,
                                        cal, art, base_opt);
 
+  const std::vector<double> headrooms = {1.0, 1.25, 1.5, 2.0};
+  exp::SweepExecutor exec(jobs);
+  const auto runs = exec.map<exp::ManagedRunResult>(
+      headrooms, [&](double headroom) {
+        auto opt = base_opt;
+        core::AmoebaConfig ac;
+        ac.controller.to_serverless_margin = 0.60;
+        ac.controller.to_iaas_margin = 0.80;
+        ac.engine.mirror_fraction = 0.08;
+        ac.engine.prewarm.headroom = headroom;
+        ac.monitor.sample_period_s = 5.0;
+        ac.load_anticipation_s = 40.0;
+        opt.amoeba = ac;
+        return exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster, cal,
+                                art, opt);
+      });
+
   exp::Table table({"headroom", "p95/QoS", "violations", "mem saved",
                     "cpu saved"});
-  for (double headroom : {1.0, 1.25, 1.5, 2.0}) {
-    auto opt = base_opt;
-    core::AmoebaConfig ac;
-    ac.controller.to_serverless_margin = 0.60;
-    ac.controller.to_iaas_margin = 0.80;
-    ac.engine.mirror_fraction = 0.08;
-    ac.engine.prewarm.headroom = headroom;
-    ac.monitor.sample_period_s = 5.0;
-    ac.load_anticipation_s = 40.0;
-    opt.amoeba = ac;
-    const auto r = exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster,
-                                    cal, art, opt);
+  for (std::size_t i = 0; i < headrooms.size(); ++i) {
+    const auto& r = runs[i];
     table.add_row(
-        {exp::fmt_fixed(headroom, 2),
+        {exp::fmt_fixed(headrooms[i], 2),
          exp::fmt_fixed(r.p95() / p.qos_target_s, 2),
          exp::fmt_percent(r.violation_fraction()),
          exp::fmt_percent(1.0 - r.usage.memory_mb_seconds /

@@ -7,12 +7,14 @@
 // flap the deployment back to IaaS; adequate periods keep the controller
 // steady.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/sample_period.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amoeba;
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   auto cluster = bench::bench_cluster();
   cluster.serverless.crash_after_completion_p = 0.01;  // failure injection
   const auto prof = bench::bench_profiling();
@@ -31,21 +33,28 @@ int main() {
   std::cout << "Eq. 8 lower bound for float: "
             << exp::fmt_fixed(core::min_sample_period(eq8), 2) << " s\n";
 
+  const std::vector<double> periods = {1.0, 2.0, 5.0, 10.0};
+  exp::SweepExecutor exec(jobs);
+  const auto runs = exec.map<exp::ManagedRunResult>(
+      periods, [&](double period) {
+        auto opt = bench::bench_run_options();
+        core::AmoebaConfig ac;
+        ac.controller.to_serverless_margin = 0.60;
+        ac.controller.to_iaas_margin = 0.80;
+        ac.engine.mirror_fraction = 0.08;
+        ac.engine.prewarm.headroom = 1.25;
+        ac.monitor.sample_period_s = period;
+        ac.load_anticipation_s = 40.0;
+        opt.amoeba = ac;
+        return exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster, cal,
+                                art, opt);
+      });
+
   exp::Table table({"sample period (s)", "switches", "violations",
                     "p95/QoS"});
-  for (double period : {1.0, 2.0, 5.0, 10.0}) {
-    auto opt = bench::bench_run_options();
-    core::AmoebaConfig ac;
-    ac.controller.to_serverless_margin = 0.60;
-    ac.controller.to_iaas_margin = 0.80;
-    ac.engine.mirror_fraction = 0.08;
-    ac.engine.prewarm.headroom = 1.25;
-    ac.monitor.sample_period_s = period;
-    ac.load_anticipation_s = 40.0;
-    opt.amoeba = ac;
-    const auto r = exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster,
-                                    cal, art, opt);
-    table.add_row({exp::fmt_fixed(period, 1),
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& r = runs[i];
+    table.add_row({exp::fmt_fixed(periods[i], 1),
                    std::to_string(r.switches.size()),
                    exp::fmt_percent(r.violation_fraction()),
                    exp::fmt_fixed(r.p95() / p.qos_target_s, 2)});

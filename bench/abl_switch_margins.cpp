@@ -3,11 +3,13 @@
 // around the switch windows. Run on dd, whose disk cliff punishes late
 // switches hardest.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amoeba;
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto cluster = bench::bench_cluster();
   const auto prof = bench::bench_profiling();
   exp::print_banner(std::cout, "Ablation", "switch margins (dd)");
@@ -23,21 +25,31 @@ int main() {
     double to_serverless;
     double to_iaas;
   };
+  const std::vector<MarginPair> margins = {MarginPair{0.40, 0.60},
+                                           MarginPair{0.60, 0.80},
+                                           MarginPair{0.80, 0.95},
+                                           MarginPair{0.95, 1.00}};
+  exp::SweepExecutor exec(jobs);
+  const auto runs = exec.map<exp::ManagedRunResult>(
+      margins, [&](const MarginPair& m) {
+        auto opt = base_opt;
+        core::AmoebaConfig ac;
+        ac.controller.to_serverless_margin = m.to_serverless;
+        ac.controller.to_iaas_margin = m.to_iaas;
+        ac.engine.mirror_fraction = 0.08;
+        ac.engine.prewarm.headroom = 1.25;
+        ac.monitor.sample_period_s = 5.0;
+        ac.load_anticipation_s = 40.0;
+        opt.amoeba = ac;
+        return exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster, cal,
+                                art, opt);
+      });
+
   exp::Table table({"entry margin", "exit margin", "violations", "p95/QoS",
                     "cpu saved", "switches"});
-  for (const auto m : {MarginPair{0.40, 0.60}, MarginPair{0.60, 0.80},
-                       MarginPair{0.80, 0.95}, MarginPair{0.95, 1.00}}) {
-    auto opt = base_opt;
-    core::AmoebaConfig ac;
-    ac.controller.to_serverless_margin = m.to_serverless;
-    ac.controller.to_iaas_margin = m.to_iaas;
-    ac.engine.mirror_fraction = 0.08;
-    ac.engine.prewarm.headroom = 1.25;
-    ac.monitor.sample_period_s = 5.0;
-    ac.load_anticipation_s = 40.0;
-    opt.amoeba = ac;
-    const auto r = exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster,
-                                    cal, art, opt);
+  for (std::size_t i = 0; i < margins.size(); ++i) {
+    const auto& m = margins[i];
+    const auto& r = runs[i];
     table.add_row(
         {exp::fmt_fixed(m.to_serverless, 2), exp::fmt_fixed(m.to_iaas, 2),
          exp::fmt_percent(r.violation_fraction()),

@@ -6,18 +6,72 @@
 // profiling grid, making their artifacts interchangeable.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/artifact_cache.hpp"
 #include "exp/profiling.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "exp/table.hpp"
 #include "obs/exporters.hpp"
+#include "obs/json.hpp"
 
 namespace amoeba::bench {
+
+/// Ordered flat JSON object writer for the machine-readable BENCH_*.json
+/// artifacts (events/sec, wall-clock, speedups). Insertion order is
+/// preserved so the artifacts diff cleanly across runs.
+class BenchJson {
+ public:
+  void add(const std::string& key, double value) {
+    members_.emplace_back(key, obs::json_number(value));
+  }
+  void add(const std::string& key, bool value) {
+    members_.emplace_back(key, value ? "true" : "false");
+  }
+  void add(const std::string& key, const std::string& value) {
+    // Built piecewise: `"\"" + s + "\""` trips GCC 12's -Wrestrict false
+    // positive through the rvalue operator+ overload.
+    std::string quoted;
+    quoted += '"';
+    quoted += obs::json_escape(value);
+    quoted += '"';
+    members_.emplace_back(key, std::move(quoted));
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n  \"";
+      out += obs::json_escape(members_[i].first);
+      out += "\": ";
+      out += members_[i].second;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Write to `path`; returns false (with a note on stderr) on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "BENCH json: cannot open " << path << "\n";
+      return false;
+    }
+    out << str();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> members_;
+};
 
 inline exp::ClusterConfig bench_cluster() { return exp::default_cluster(); }
 
@@ -61,7 +115,8 @@ inline core::MeterCalibration cached_calibration(
   const std::string path = exp::default_cache_dir() + "/meters.txt";
   std::string meters_id;
   for (auto kind : workload::kAllMeters) {
-    meters_id += " " + profile_tag(workload::meter_profile(kind));
+    meters_id += ' ';
+    meters_id += profile_tag(workload::meter_profile(kind));
   }
   const std::string tag = cache_tag(cluster, cfg, meters_id);
   if (auto hit = exp::load_calibration(path, tag)) {

@@ -7,11 +7,13 @@
 // Amoeba's curve hugs OpenWhisk's at short latencies (serverless at low
 // load) and Nameko's in the tail (IaaS at high load).
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amoeba;
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto cluster = bench::bench_cluster();
   const auto prof = bench::bench_profiling();
   exp::print_banner(std::cout, "Fig. 10",
@@ -22,17 +24,34 @@ int main() {
   const exp::DeploySystem systems[] = {exp::DeploySystem::kAmoeba,
                                        exp::DeploySystem::kNameko,
                                        exp::DeploySystem::kOpenWhisk};
+  const std::size_t nsys = std::size(systems);
   const double quantiles[] = {0.50, 0.75, 0.90, 0.95, 0.99};
 
-  for (const auto& p : workload::functionbench_suite()) {
-    const auto art = bench::cached_artifacts(p, cluster, cal, prof);
+  // Warm the profile cache serially (it writes shared files), then fan the
+  // benchmark x system grid out over the sweep executor. Results come back
+  // in cell order, so the tables are identical at any --jobs.
+  const auto suite = workload::functionbench_suite();
+  std::vector<core::ServiceArtifacts> arts;
+  arts.reserve(suite.size());
+  for (const auto& p : suite) {
+    arts.push_back(bench::cached_artifacts(p, cluster, cal, prof));
+  }
+  exp::SweepExecutor exec(jobs);
+  const auto runs = exec.map_indexed<exp::ManagedRunResult>(
+      suite.size() * nsys, [&](std::size_t i) {
+        return exp::run_managed(suite[i / nsys], systems[i % nsys], cluster,
+                                cal, arts[i / nsys], opt);
+      });
+
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    const auto& p = suite[b];
     std::cout << "\n== " << p.name << " (QoS " << p.qos_target_s * 1e3
               << " ms, peak " << p.peak_load_qps << " qps)\n";
     exp::Table table({"system", "p50/QoS", "p75/QoS", "p90/QoS", "p95/QoS",
                       "p99/QoS", "violations"});
-    for (const auto sys : systems) {
-      const auto r = exp::run_managed(p, sys, cluster, cal, art, opt);
-      std::vector<std::string> row = {exp::to_string(sys)};
+    for (std::size_t s = 0; s < nsys; ++s) {
+      const auto& r = runs[b * nsys + s];
+      std::vector<std::string> row = {exp::to_string(systems[s])};
       for (const double q : quantiles) {
         row.push_back(
             exp::fmt_fixed(r.latencies.quantile(q) / p.qos_target_s, 2));

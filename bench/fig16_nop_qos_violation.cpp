@@ -3,11 +3,13 @@
 // into cold starts. Paper: 29.9–69.1% of queries violate QoS under NoP;
 // full Amoeba eliminates the violations.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amoeba;
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto cluster = bench::bench_cluster();
   const auto prof = bench::bench_profiling();
   exp::print_banner(std::cout, "Fig. 16",
@@ -40,15 +42,28 @@ int main() {
                : 0.0;
   };
 
+  const auto suite = workload::functionbench_suite();
+  std::vector<core::ServiceArtifacts> arts;
+  arts.reserve(suite.size());
+  for (const auto& p : suite) {
+    arts.push_back(bench::cached_artifacts(p, cluster, cal, prof));
+  }
+  const exp::DeploySystem systems[] = {exp::DeploySystem::kAmoeba,
+                                       exp::DeploySystem::kAmoebaNoP};
+  exp::SweepExecutor exec(jobs);
+  const auto runs = exec.map_indexed<exp::ManagedRunResult>(
+      suite.size() * 2, [&](std::size_t i) {
+        return exp::run_managed(suite[i / 2], systems[i % 2], cluster, cal,
+                                arts[i / 2], opt);
+      });
+
   exp::Table table({"benchmark", "overall Amoeba", "overall NoP",
                     "post-switch Amoeba", "post-switch NoP", "switches NoP"});
-  for (const auto& p : workload::functionbench_suite()) {
-    const auto art = bench::cached_artifacts(p, cluster, cal, prof);
-    const auto amoeba_run = exp::run_managed(p, exp::DeploySystem::kAmoeba,
-                                             cluster, cal, art, opt);
-    const auto nop_run = exp::run_managed(p, exp::DeploySystem::kAmoebaNoP,
-                                          cluster, cal, art, opt);
-    table.add_row({p.name, exp::fmt_percent(amoeba_run.violation_fraction()),
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    const auto& amoeba_run = runs[b * 2];
+    const auto& nop_run = runs[b * 2 + 1];
+    table.add_row({suite[b].name,
+                   exp::fmt_percent(amoeba_run.violation_fraction()),
                    exp::fmt_percent(nop_run.violation_fraction()),
                    exp::fmt_percent(post_switch_violations(amoeba_run)),
                    exp::fmt_percent(post_switch_violations(nop_run)),

@@ -11,8 +11,7 @@ double min_sample_period(const SamplePeriodParams& p, double floor_s) {
   AMOEBA_EXPECTS(p.allowed_error > 0.0 && p.allowed_error < 1.0);
   AMOEBA_EXPECTS(floor_s > 0.0);
   const double numerator = p.cold_start_s - p.qos_target_s + p.exec_time_s;
-  const double bound =
-      numerator / ((1.0 - p.allowed_error) * p.qos_target_s);
+  const double bound = numerator / (p.allowed_error * p.qos_target_s);
   return std::max(bound, floor_s);
 }
 

@@ -3,12 +3,18 @@
 // A stray ("accidental") cold start inside a sample period inflates the
 // tail latency the monitor sees and could make the controller misjudge a
 // healthy serverless deployment. Eq. 8 lower-bounds the period T so one
-// cold start cannot push the period's error beyond the allowed scope e:
+// cold start cannot push the period's aggregate error beyond the allowed
+// scope e:
 //
-//     T > (cold_start − QoS_t + t_exec) / ((1 − e) · QoS_t)
+//     T > (cold_start − QoS_t + t_exec) / (e · QoS_t)
 //
-// Note the paper's direction: a SMALLER allowed error e shrinks the bound
-// — "Amoeba has to sample the contention more frequently" (§VI-B).
+// Direction check: the cold start contributes a fixed excess latency
+// (cold_start − QoS_t + t_exec); a longer period dilutes it across more
+// queries. As e → 0 (no tolerated error) the bound must diverge — only an
+// ever-longer period can shrink one cold start's share of the aggregate
+// below any scope — so e belongs in the denominator as a factor, not as
+// (1 − e). A negative numerator (QoS slack exceeds the cold-start excess)
+// means any period is safe; the floor applies.
 #pragma once
 
 #include "common/assert.hpp"

@@ -1,9 +1,39 @@
 #include "exp/sweep.hpp"
 
+#include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
+#include <string_view>
 
 namespace amoeba::exp {
+
+unsigned parse_jobs_flag(int& argc, char** argv) {
+  unsigned jobs = 1;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    std::string_view value;
+    if (arg == "--jobs" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      value = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    const std::string text{value};
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(text.c_str(), &end, 10);
+    AMOEBA_EXPECTS_MSG(!text.empty() && end == text.c_str() + text.size() &&
+                           parsed > 0 && parsed <= 1024,
+                       "--jobs expects an integer in [1, 1024]");
+    jobs = static_cast<unsigned>(parsed);
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return jobs;
+}
 
 void parallel_for(std::size_t n, unsigned threads,
                   const std::function<void(std::size_t)>& fn) {

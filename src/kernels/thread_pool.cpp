@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace amoeba::kernels {
@@ -44,6 +45,65 @@ void parallel_chunks(std::size_t n, unsigned threads,
   }
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = kernel_threads(threads);
+  workers_.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  AMOEBA_EXPECTS(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AMOEBA_EXPECTS_MSG(!stop_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ && drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    --in_flight_;
+    if (err && !first_error_) first_error_ = err;
+    if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+  }
 }
 
 }  // namespace amoeba::kernels

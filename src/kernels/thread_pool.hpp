@@ -1,12 +1,19 @@
-// Minimal blocking fork-join helper for the native kernels.
+// Thread helpers for the native kernels and the experiment sweep layer.
 //
 // The kernels parallelize with plain std::thread (per the repository's
 // HPC guides: explicit parallelism, no hidden runtime). `parallel_chunks`
-// splits [0, n) into contiguous chunks, one per worker.
+// splits [0, n) into contiguous chunks, one per worker. `ThreadPool` is a
+// persistent worker pool for callers that dispatch many small task batches
+// (the sweep executor) and don't want a thread spawn per batch.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -20,5 +27,45 @@ void parallel_chunks(std::size_t n, unsigned threads,
 
 /// Effective worker count used by parallel_chunks.
 [[nodiscard]] unsigned kernel_threads(unsigned requested) noexcept;
+
+/// Fixed-size persistent worker pool. Tasks run in submission order (FIFO
+/// dispatch) but complete in any order; `wait_idle` is the join point.
+/// Exceptions thrown by tasks are captured and rethrown from `wait_idle`
+/// (first one wins; the rest are dropped after running to completion).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a task. Never blocks on task execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished, then rethrow the first
+  /// captured task exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;   // signalled on submit/stop
+  std::condition_variable all_done_;     // signalled when the pool drains
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace amoeba::kernels

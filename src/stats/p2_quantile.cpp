@@ -72,7 +72,11 @@ void P2Quantile::add(double x) {
 double P2Quantile::value() const {
   AMOEBA_EXPECTS(count_ > 0);
   if (count_ < 5) {
-    // Exact small-sample quantile (nearest-rank on the sorted prefix).
+    // Exact small-sample quantile: linear interpolation between the order
+    // statistics of the sorted prefix at rank h = q(n-1) (the "R-7"
+    // definition SampleSet::quantile also uses) — NOT nearest-rank, so the
+    // estimator is continuous in q and agrees with the exact reference the
+    // property tests compare against.
     std::array<double, 5> tmp = heights_;
     std::sort(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(count_));
     const double h = q_ * static_cast<double>(count_ - 1);

@@ -20,6 +20,14 @@ class RateEstimator {
   void record(double t);
 
   /// Arrivals per second over the trailing window ending at `now`.
+  ///
+  /// Warm-up: before one full window has elapsed since the first recorded
+  /// arrival, the divisor is the elapsed time `now - first_observation`
+  /// rather than the window length — otherwise a steady λ reads as
+  /// λ·elapsed/window at scenario start, feeding the deployment controller
+  /// a near-zero load for the whole first window (Eq. 1–5 discriminant
+  /// skew). When `now == first_observation` the single sample spans zero
+  /// elapsed time; the full window is used as the (conservative) divisor.
   [[nodiscard]] double rate(double now) const;
 
   /// Number of arrivals currently inside the window ending at `now`.
@@ -30,6 +38,8 @@ class RateEstimator {
  private:
   void evict(double now) const;
   double window_;
+  double first_observation_ = 0.0;
+  bool has_observation_ = false;
   mutable std::deque<double> arrivals_;
 };
 

@@ -60,14 +60,17 @@ TEST(SamplePeriod, Eq8Bound) {
   p.qos_target_s = 0.5;
   p.exec_time_s = 0.3;
   p.allowed_error = 0.1;
-  // (2.0 - 0.5 + 0.3) / (0.9 * 0.5) = 4.0.
-  EXPECT_NEAR(min_sample_period(p, 0.1), 4.0, 1e-12);
+  // Eq. 8: (2.0 - 0.5 + 0.3) / (0.1 * 0.5) = 36.0 — the allowed error e
+  // multiplies the QoS target in the denominator. (The previous (1-e)
+  // form gave 4.0 here and, absurdly, a finite period at e -> 0.)
+  EXPECT_NEAR(min_sample_period(p, 0.1), 36.0, 1e-12);
 }
 
-TEST(SamplePeriod, SmallerErrorMeansMoreFrequentSampling) {
-  // Paper §VI-B: "If the allowed error is small, Amoeba has to sample the
-  // contention on the serverless platform more frequently" — Eq. 8's bound
-  // shrinks as e shrinks (the (1-e) factor grows).
+TEST(SamplePeriod, SmallerErrorRequiresLongerPeriod) {
+  // One accidental cold start contributes a fixed excess latency to the
+  // period's aggregate; only a longer period dilutes it below a smaller
+  // allowed scope. Eq. 8's bound therefore grows as e shrinks, diverging
+  // at e -> 0.
   SamplePeriodParams p;
   p.cold_start_s = 2.0;
   p.qos_target_s = 0.5;
@@ -76,7 +79,8 @@ TEST(SamplePeriod, SmallerErrorMeansMoreFrequentSampling) {
   const double loose = min_sample_period(p, 0.1);
   p.allowed_error = 0.01;
   const double strict = min_sample_period(p, 0.1);
-  EXPECT_LT(strict, loose);
+  EXPECT_GT(strict, loose);
+  EXPECT_NEAR(strict, 10.0 * loose, 1e-9);  // bound scales as 1/e
 }
 
 TEST(SamplePeriod, FloorAppliesWhenBoundIsSmallOrNegative) {
@@ -85,6 +89,11 @@ TEST(SamplePeriod, FloorAppliesWhenBoundIsSmallOrNegative) {
   p.qos_target_s = 5.0;  // cold start within target: bound negative
   p.exec_time_s = 0.1;
   p.allowed_error = 0.1;
+  // Ample slack: a cold start cannot push the aggregate past the scope at
+  // any period, so the practical floor is the binding constraint.
+  EXPECT_DOUBLE_EQ(min_sample_period(p, 2.0), 2.0);
+  // Stays true however small the allowed error gets.
+  p.allowed_error = 1e-6;
   EXPECT_DOUBLE_EQ(min_sample_period(p, 2.0), 2.0);
 }
 

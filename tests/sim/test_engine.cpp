@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "sim/random.hpp"
+
 namespace amoeba::sim {
 namespace {
 
@@ -132,6 +134,178 @@ TEST(Engine, ExecutedCountsFiredEventsOnly) {
 TEST(Engine, StepReturnsFalseOnEmpty) {
   Engine e;
   EXPECT_FALSE(e.step());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism anchors: trace hashes recorded against the pre-rewrite
+// priority_queue engine. The slot-heap rewrite must keep the (timestamp,
+// FIFO-seq) firing order bit-identical, so these constants must never change.
+// Workload shapes mirror the probe used to record them.
+// ---------------------------------------------------------------------------
+
+std::uint64_t seed_stable_hash(std::uint64_t seed) {
+  Engine engine;
+  Rng rng(seed);
+  for (int i = 0; i < 200; ++i) engine.schedule_in(rng.exponential(3.0), [] {});
+  engine.run();
+  return engine.trace_hash();
+}
+
+struct MixedResult {
+  std::uint64_t hash;
+  std::uint64_t fired;
+  std::size_t pending;
+};
+
+// Mixed schedule/cancel/fire workload with id-reuse pressure: keeps a window
+// of pending handles, cancels a deterministic subset, interleaves partial
+// run_until() drains with fresh scheduling so slots are recycled mid-run.
+MixedResult mixed_workload(std::uint64_t seed, int n) {
+  Engine e;
+  Rng rng(seed);
+  std::vector<EventId> window;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < n; ++i) {
+    const EventId id = e.schedule_in(rng.exponential(1.0), [&fired] { ++fired; });
+    window.push_back(id);
+    if (window.size() >= 8) {
+      e.cancel(window[2]);
+      e.cancel(window[5]);
+      window.clear();
+      e.run_until(e.now() + 0.5);
+    }
+  }
+  e.run();
+  return {e.trace_hash(), fired, e.pending()};
+}
+
+TEST(Engine, TraceHashMatchesPreRewriteRecording) {
+  EXPECT_EQ(seed_stable_hash(11), 0xa60f136d9d249ec9ULL);
+  EXPECT_EQ(seed_stable_hash(12), 0x6a869f17c495d9deULL);
+}
+
+TEST(Engine, MixedWorkloadHashAndCountsMatchPreRewriteRecording) {
+  const MixedResult a = mixed_workload(42, 5000);
+  EXPECT_EQ(a.hash, 0x6267b2c2a71f281eULL);
+  EXPECT_EQ(a.fired, 3750u);  // 2 of every 8 cancelled
+  EXPECT_EQ(a.pending, 0u);
+  const MixedResult b = mixed_workload(43, 5000);
+  EXPECT_EQ(b.hash, 0x8213c3d3c02ffbd3ULL);
+}
+
+TEST(Engine, CancelledHandleStaysDeadAfterSlotReuse) {
+  Engine e;
+  const EventId a = e.schedule(1.0, [] {});
+  ASSERT_TRUE(e.cancel(a));
+  // The freed slot is recycled with a bumped generation; the stale handle
+  // must not alias the new event.
+  bool fired = false;
+  const EventId b = e.schedule(2.0, [&] { fired = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(e.cancel(a));  // stale generation
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(e.cancel(b));  // already fired
+}
+
+TEST(Engine, CancelFromInsideHandler) {
+  Engine e;
+  bool victim_fired = false;
+  const EventId victim = e.schedule(2.0, [&] { victim_fired = true; });
+  bool cancelled = false;
+  e.schedule(1.0, [&] { cancelled = e.cancel(victim); });
+  e.run();
+  EXPECT_TRUE(cancelled);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(Engine, CancellingTheFiringEventFromItsOwnHandlerFails) {
+  Engine e;
+  EventId self{};
+  bool self_cancel = true;
+  self = e.schedule(1.0, [&] { self_cancel = e.cancel(self); });
+  e.run();
+  // The event left the heap before its handler ran; cancel must report
+  // "not pending" rather than corrupt the slot.
+  EXPECT_FALSE(self_cancel);
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(Engine, RunUntilFiresBoundaryEventsAndAdvancesClock) {
+  Engine e;
+  int at_boundary = 0;
+  int after = 0;
+  e.schedule(1.0, [&] { ++at_boundary; });
+  e.schedule(1.0, [&] { ++at_boundary; });  // FIFO twin at the boundary
+  e.schedule(1.0 + 1e-9, [&] { ++after; });
+  e.run_until(1.0);
+  EXPECT_EQ(at_boundary, 2);  // t <= horizon fires, in schedule order
+  EXPECT_EQ(after, 0);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);  // clock lands exactly on the horizon
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_FALSE(e.empty());
+  e.run();
+  EXPECT_EQ(after, 1);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, PendingAndEmptyTrackScheduleCancelFire) {
+  Engine e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.pending(), 0u);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(e.schedule(static_cast<double>(i), [] {}));
+  EXPECT_EQ(e.pending(), 100u);
+  for (std::size_t i = 0; i < 100; i += 2) EXPECT_TRUE(e.cancel(ids[i]));
+  EXPECT_EQ(e.pending(), 50u);
+  while (e.pending() > 25u) EXPECT_TRUE(e.step());
+  EXPECT_EQ(e.pending(), 25u);
+  e.run();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.executed(), 50u);
+}
+
+TEST(Engine, InterleavedChurnStressWithIdReuse) {
+  // Long-running churn: every slot is recycled many times over, cancels hit
+  // both live and stale handles, and handlers reschedule. Checks the engine's
+  // own accounting rather than a pinned hash (the hash anchors above already
+  // pin ordering).
+  Engine e;
+  Rng rng(99);
+  std::vector<EventId> live;
+  std::uint64_t fired = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<EventId> stale;
+  for (int round = 0; round < 400; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      live.push_back(e.schedule_in(rng.exponential(2.0), [&] {
+        ++fired;
+        if (fired % 7 == 0) {
+          e.schedule_in(0.25, [&] { ++fired; });
+          ++scheduled;
+        }
+      }));
+      ++scheduled;
+    }
+    // Cancel a deterministic third of this round's batch.
+    for (std::size_t i = 0; i + 3 <= live.size(); i += 3) {
+      if (e.cancel(live[i])) {
+        ++cancelled;
+        stale.push_back(live[i]);
+      }
+    }
+    live.clear();
+    // Stale handles must never cancel a recycled slot's new occupant.
+    for (const EventId id : stale) EXPECT_FALSE(e.cancel(id));
+    e.run_until(e.now() + rng.exponential(4.0));
+  }
+  e.run();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.executed(), fired);
+  EXPECT_EQ(fired + cancelled, scheduled);
 }
 
 TEST(Engine, ManyEventsStressOrdering) {
