@@ -24,6 +24,7 @@ AmoebaRuntime::AmoebaRuntime(sim::Engine& engine,
   AMOEBA_EXPECTS(cfg.load_window_s > 0.0);
   exec_engine_.set_observer(obs_);
   monitor_.set_observer(obs_);
+  monitor_.set_fault_injector(cfg.fault_injector);
   serverless_.set_observer(obs_);
 
   // Mirrored (and resident-sampled) completions feed the controller's
@@ -139,16 +140,24 @@ void AmoebaRuntime::on_sample() {
         controller_.estimator(name).calibrated()) {
       exec_engine_.set_mirroring(name, false);
     }
-    if (exec_engine_.transitioning(name)) {
+    if (exec_engine_.transitioning(name) || exec_engine_.in_cooldown(name)) {
+      const bool transitioning = exec_engine_.transitioning(name);
       rt.period_latencies.clear();
-      // Even ticks spent mid-switch leave an audit record: every monitor
-      // sample accounts for every service.
+      // Post-abort cooldown: no new decision, but the warm set still tracks
+      // the load so a serverless-resident service keeps absorbing bursts.
+      if (!transitioning &&
+          exec_engine_.route(name) == DeployMode::kServerless) {
+        exec_engine_.maintain_warm(name, rt.load.rate(engine_.now()));
+      }
+      // Even ticks spent mid-switch (or cooling down after an aborted one)
+      // leave an audit record: every monitor sample accounts for every
+      // service.
       if (obs_ != nullptr && obs_->audit_on()) {
         obs::DecisionRecord dr;
         dr.time_s = engine_.now();
         dr.service = name;
         dr.platform = to_string(controller_.mode(name));
-        dr.decision = "transitioning";
+        dr.decision = transitioning ? "transitioning" : "cooldown";
         dr.load_qps = rt.load.rate(engine_.now());
         dr.total_pressures = pressures;
         dr.qos_target_s = controller_.qos_target(name);

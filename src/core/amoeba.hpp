@@ -47,6 +47,10 @@ struct AmoebaConfig {
   /// Recording is pure bookkeeping: it never schedules simulation events or
   /// draws randomness, so enabling it does not change the event-trace hash.
   obs::Observer* observer = nullptr;
+  /// Fault injector (non-owning; nullptr = fault-free). The runtime attaches
+  /// it to the contention monitor; callers attach it to the platforms
+  /// themselves (the scenario layer does all of this from one config).
+  sim::FaultInjector* fault_injector = nullptr;
 };
 
 /// Per-service timelines for the paper's Fig. 12/13.

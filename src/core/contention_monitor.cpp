@@ -8,6 +8,7 @@ void ContentionMonitorConfig::validate() const {
   AMOEBA_EXPECTS(probe_qps > 0.0);
   AMOEBA_EXPECTS(sample_period_s > 0.0);
   AMOEBA_EXPECTS(smoothing > 0.0 && smoothing <= 1.0);
+  AMOEBA_EXPECTS(pressure_max_age_s >= 0.0);
 }
 
 ContentionMonitor::ContentionMonitor(sim::Engine& engine,
@@ -36,6 +37,7 @@ void ContentionMonitor::start() {
   running_ = true;
   for (std::size_t i = 0; i < kNumResources; ++i) {
     MeterState& m = meters_[i];
+    m.last_update = engine_.now();
     if (!platform_.has_function(m.profile.name)) {
       platform_.register_function(m.profile);
     }
@@ -43,11 +45,15 @@ void ContentionMonitor::start() {
     m.generator = std::make_unique<workload::ConstantLoadGenerator>(
         engine_, rng_.fork(7000 + i), cfg_.probe_qps, [this, i, fn] {
           platform_.submit(fn, [this, i](const workload::QueryRecord& rec) {
+            // Injected telemetry faults: the completion may be lost before
+            // it reaches the aggregator, or its latency contaminated.
+            if (faults_ != nullptr && faults_->next_meter_drop()) return;
             // Exclude queue wait and cold start: the meter measures
             // contention on the resource, not pool sizing effects.
-            meters_[i].latency_sum += rec.breakdown.total() -
-                                      rec.breakdown.queue_s -
-                                      rec.breakdown.cold_start_s;
+            double lat = rec.breakdown.total() - rec.breakdown.queue_s -
+                         rec.breakdown.cold_start_s;
+            if (faults_ != nullptr) lat *= faults_->next_meter_multiplier();
+            meters_[i].latency_sum += lat;
             meters_[i].latency_count += 1;
           });
         });
@@ -87,10 +93,30 @@ void ContentionMonitor::on_period() {
       m.pressure += cfg_.smoothing * (raw - m.pressure);
       m.latency_sum = 0.0;
       m.latency_count = 0;
+      m.last_update = engine_.now();
+      continue;
     }
-    // No completions this period: keep the previous estimate (the meter
+    // No completions this period: hold the previous estimate (the meter
     // queries are still in flight under extreme contention, which itself
-    // implies high pressure; the next period will catch up).
+    // implies high pressure; the next period will catch up) — but only up
+    // to the configured age cap. Past it, the reading is too stale to act
+    // on (samples may be getting dropped) and decays to the calibration
+    // floor so the controller stops trusting phantom pressure.
+    if (cfg_.pressure_max_age_s > 0.0 &&
+        engine_.now() - m.last_update > cfg_.pressure_max_age_s) {
+      const double floor = calibration_.curves[i]->points().front().pressure;
+      if (m.pressure > floor) {
+        m.pressure = floor;
+        ++stale_resets_;
+        if (obs_ != nullptr && obs_->metrics_on()) {
+          static constexpr std::array<const char*, kNumResources> kDimNames = {
+              "cpu", "io", "net"};
+          obs_->metrics()
+              .counter("pressure_stale_resets", {{"resource", kDimNames[i]}})
+              .inc();
+        }
+      }
+    }
   }
   ++samples_taken_;
   if (obs_ != nullptr && obs_->enabled()) {
@@ -102,6 +128,9 @@ void ContentionMonitor::on_period() {
         obs_->metrics()
             .gauge("pressure", {{"resource", kDims[i]}})
             .set(meters_[i].pressure);
+        obs_->metrics()
+            .gauge("pressure_age_s", {{"resource", kDims[i]}})
+            .set(now - meters_[i].last_update);
       }
       obs_->metrics().counter("monitor_ticks").inc();
     }
@@ -141,6 +170,14 @@ std::array<double, kNumResources> ContentionMonitor::pressures() const {
   std::array<double, kNumResources> out{};
   for (std::size_t i = 0; i < kNumResources; ++i) {
     out[i] = meters_[i].pressure;
+  }
+  return out;
+}
+
+std::array<double, kNumResources> ContentionMonitor::pressure_ages() const {
+  std::array<double, kNumResources> out{};
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    out[i] = engine_.now() - meters_[i].last_update;
   }
   return out;
 }

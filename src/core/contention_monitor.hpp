@@ -34,6 +34,11 @@ struct ContentionMonitorConfig {
   /// A few probes per period make raw estimates jittery; unsmoothed jitter
   /// near a switch margin makes the controller flap.
   double smoothing = 0.5;
+  /// How long a pressure estimate may be held without a fresh meter sample
+  /// before it is considered stale and reset to the calibration floor.
+  /// 0 = hold the last-known estimate forever (the pre-fault behaviour).
+  /// Only matters when meter samples can be lost (fault injection).
+  double pressure_max_age_s = 0.0;
 
   void validate() const;
 };
@@ -67,6 +72,21 @@ class ContentionMonitor {
   /// period then updates per-resource pressure gauges and counter tracks.
   void set_observer(obs::Observer* observer) { obs_ = observer; }
 
+  /// Attach the fault injector (non-owning; nullptr disables). Probe
+  /// completions may then be dropped before recording or contaminated with
+  /// an outlier latency multiplier.
+  void set_fault_injector(sim::FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
+  /// Seconds since each pressure estimate was last refreshed by a real
+  /// meter sample (0 right after a fresh sample).
+  [[nodiscard]] std::array<double, kNumResources> pressure_ages() const;
+  /// Times a stale estimate aged past pressure_max_age_s and was reset.
+  [[nodiscard]] std::uint64_t stale_resets() const noexcept {
+    return stale_resets_;
+  }
+
   [[nodiscard]] double sample_period() const noexcept {
     return cfg_.sample_period_s;
   }
@@ -97,13 +117,16 @@ class ContentionMonitor {
     std::uint64_t latency_count = 0;
     std::optional<double> last_mean_latency;
     double pressure = 0.0;
+    sim::Time last_update = 0.0;  ///< when `pressure` last saw real data
   };
   std::array<MeterState, kNumResources> meters_;
   bool running_ = false;
   sim::EventId period_event_ = sim::kNoEvent;
   std::uint64_t samples_taken_ = 0;
+  std::uint64_t stale_resets_ = 0;
   std::function<void()> on_sample_;
   obs::Observer* obs_ = nullptr;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace amoeba::core

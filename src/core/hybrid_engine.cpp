@@ -1,6 +1,7 @@
 #include "core/hybrid_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace amoeba::core {
@@ -13,6 +14,9 @@ void HybridEngineConfig::validate() const {
   AMOEBA_EXPECTS(mirror_fraction >= 0.0 && mirror_fraction <= 1.0);
   AMOEBA_EXPECTS(prewarm_poll_s > 0.0);
   AMOEBA_EXPECTS(switch_timeout_s > 0.0);
+  AMOEBA_EXPECTS(switch_max_retries >= 1);
+  AMOEBA_EXPECTS(switch_retry_backoff >= 1.0);
+  AMOEBA_EXPECTS(abort_cooldown_s >= 0.0);
 }
 
 HybridExecutionEngine::HybridExecutionEngine(
@@ -42,8 +46,24 @@ void HybridExecutionEngine::add_service(
 
   // Default mode is IaaS (paper §III step 1): boot the VM now; queries that
   // arrive before it is ready wait in the boot buffer.
-  const std::string name = profile.name;
-  iaas_.boot(name, [this, name] { flush_boot_buffer(name); });
+  boot_initial_vm(profile.name, /*attempt=*/0);
+}
+
+void HybridExecutionEngine::boot_initial_vm(const std::string& service,
+                                            int attempt) {
+  ServiceState& st = state_of(service);
+  if (st.route != DeployMode::kIaas || st.switching) return;
+  if (iaas_.state(service) != iaas::VmState::kStopped) return;
+  iaas_.boot(
+      service, [this, service] { flush_boot_buffer(service); },
+      [this, service, attempt] {
+        const double delay =
+            cfg_.prewarm_poll_s *
+            std::pow(cfg_.switch_retry_backoff, std::min(attempt, 8));
+        engine_.schedule_in(delay, [this, service, attempt] {
+          boot_initial_vm(service, attempt + 1);
+        });
+      });
 }
 
 HybridExecutionEngine::ServiceState& HybridExecutionEngine::state_of(
@@ -144,6 +164,10 @@ bool HybridExecutionEngine::transitioning(const std::string& service) const {
   return state_of(service).switching;
 }
 
+bool HybridExecutionEngine::in_cooldown(const std::string& service) const {
+  return engine_.now() < state_of(service).cooldown_until;
+}
+
 int HybridExecutionEngine::available_containers(
     const std::string& service) const {
   const ServiceState& st = state_of(service);
@@ -154,62 +178,132 @@ int HybridExecutionEngine::available_containers(
                                : mem_bound;
 }
 
-void HybridExecutionEngine::poll_prewarm(
-    const std::string& service, int needed, double deadline,
-    std::uint64_t generation, std::function<void(bool)> on_complete) {
+void HybridExecutionEngine::finish_switch(ServiceState& st, bool ok) {
+  if (st.switch_timeout != sim::kNoEvent) {
+    engine_.cancel(st.switch_timeout);
+    st.switch_timeout = sim::kNoEvent;
+  }
+  st.switching = false;
+  if (!ok) {
+    st.cooldown_until = engine_.now() + cfg_.abort_cooldown_s;
+    ++switch_aborts_;
+  }
+  // Move out before calling: the callback may start the next switch.
+  std::function<void(bool)> cb = std::move(st.switch_done);
+  st.switch_done = nullptr;
+  if (cb) cb(ok);
+}
+
+void HybridExecutionEngine::complete_to_serverless(const std::string& service,
+                                                   int needed) {
+  ServiceState& st = state_of(service);
+  const auto counts = serverless_.counts(service);
+  st.route = DeployMode::kServerless;
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    const auto track = tr.track("svc:" + service + "/control");
+    tr.end(track, "prewarm", engine_.now(),
+           {obs::TraceArg::of("idle", static_cast<double>(counts.idle)),
+            obs::TraceArg::of("busy", static_cast<double>(counts.busy))});
+    tr.instant(track, "ack", engine_.now(), kSwitchCat,
+               {obs::TraceArg::of("needed", static_cast<double>(needed))});
+    tr.instant(track, "route_flip", engine_.now(), kSwitchCat);
+  }
+  serverless_.unretire(service);
+  drain_vm(service);
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.end(tr.track("svc:" + service + "/control"), "switch:to_serverless",
+           engine_.now(), {obs::TraceArg::of("completed", 1.0)});
+  }
+  count_switch(service, "serverless", "completed");
+  switch_events_.push_back(
+      {engine_.now(), service, DeployMode::kServerless, st.switch_load_qps});
+  finish_switch(st, true);
+}
+
+void HybridExecutionEngine::on_serverless_switch_timeout(
+    const std::string& service, int needed, std::uint64_t generation) {
+  ServiceState& st = state_of(service);
+  if (st.switch_generation != generation || !st.switching) return;
+  st.switch_timeout = sim::kNoEvent;  // we are the timeout event
+  // Supersede any poll still in flight: its generation check drops it.
+  ++st.switch_generation;
+  const auto counts = serverless_.counts(service);
+  // Deadline grace: if the warm set is already there (its ready events
+  // sorted before this timeout at the same instant), the switch made the
+  // budget — complete instead of aborting. Matches the poll path, where
+  // the warm-enough check precedes the deadline check.
+  if (counts.idle + counts.busy >= needed) {
+    complete_to_serverless(service, needed);
+    return;
+  }
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    const auto track = tr.track("svc:" + service + "/control");
+    tr.end(track, "prewarm", engine_.now(),
+           {obs::TraceArg::of("idle", static_cast<double>(counts.idle)),
+            obs::TraceArg::of("busy", static_cast<double>(counts.busy))});
+    tr.instant(track, "switch_abort", engine_.now(), kSwitchCat,
+               {obs::TraceArg::of("needed", static_cast<double>(needed))});
+  }
+  // Graceful degradation: stay on IaaS and hand back everything the switch
+  // acquired — destroy the prewarmed warm set and restore the pre-switch
+  // retire state so the service's memory integral stops accruing.
+  const int released = serverless_.release_prewarmed(service);
+  if (st.retired_before_switch) serverless_.retire(service);
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.end(tr.track("svc:" + service + "/control"), "switch:to_serverless",
+           engine_.now(),
+           {obs::TraceArg::of("completed", 0.0),
+            obs::TraceArg::of("released", static_cast<double>(released))});
+  }
+  count_switch(service, "serverless", "aborted");
+  finish_switch(st, false);
+}
+
+void HybridExecutionEngine::poll_prewarm(const std::string& service,
+                                         int needed,
+                                         std::uint64_t generation,
+                                         int shortfalls) {
   ServiceState& st = state_of(service);
   if (st.switch_generation != generation) return;  // superseded
   const auto counts = serverless_.counts(service);
-  const bool warm_enough = counts.idle + counts.busy >= needed;
-  if (warm_enough) {
-    st.switching = false;
-    st.route = DeployMode::kServerless;
-    if (trace_on()) {
-      obs::Tracer& tr = obs_->tracer();
-      const auto track = tr.track("svc:" + service + "/control");
-      tr.end(track, "prewarm", engine_.now(),
-             {obs::TraceArg::of("idle", static_cast<double>(counts.idle)),
-              obs::TraceArg::of("busy", static_cast<double>(counts.busy))});
-      tr.instant(track, "ack", engine_.now(), kSwitchCat,
-                 {obs::TraceArg::of("needed", static_cast<double>(needed))});
-      tr.instant(track, "route_flip", engine_.now(), kSwitchCat);
-    }
-    serverless_.unretire(service);
-    drain_vm(service);
-    if (trace_on()) {
-      obs::Tracer& tr = obs_->tracer();
-      tr.end(tr.track("svc:" + service + "/control"), "switch:to_serverless",
-             engine_.now(), {obs::TraceArg::of("completed", 1.0)});
-    }
-    count_switch(service, "serverless", "completed");
-    switch_events_.push_back(
-        {engine_.now(), service, DeployMode::kServerless, 0.0});
-    on_complete(true);
-    return;
-  }
-  if (engine_.now() >= deadline) {
-    st.switching = false;  // abort: stay on IaaS
-    if (trace_on()) {
-      obs::Tracer& tr = obs_->tracer();
-      const auto track = tr.track("svc:" + service + "/control");
-      tr.end(track, "prewarm", engine_.now(),
-             {obs::TraceArg::of("idle", static_cast<double>(counts.idle)),
-              obs::TraceArg::of("busy", static_cast<double>(counts.busy))});
-      tr.instant(track, "switch_abort", engine_.now(), kSwitchCat,
-                 {obs::TraceArg::of("needed", static_cast<double>(needed))});
-      tr.end(track, "switch:to_serverless", engine_.now(),
-             {obs::TraceArg::of("completed", 0.0)});
-    }
-    count_switch(service, "serverless", "aborted");
-    on_complete(false);
+  if (counts.idle + counts.busy >= needed) {
+    complete_to_serverless(service, needed);
     return;
   }
   // Keep nudging the pool: evictions/expiry may have freed memory.
   serverless_.prewarm(service, needed);
-  engine_.schedule_in(cfg_.prewarm_poll_s, [this, service, needed, deadline,
-                                            generation,
-                                            cb = std::move(on_complete)]() mutable {
-    poll_prewarm(service, needed, deadline, generation, std::move(cb));
+  double delay = cfg_.prewarm_poll_s;
+  if (serverless_.counts(service).total() < needed) {
+    // Allocation shortfall (no memory, or injected boot failures burned
+    // attempts): retry with exponential backoff so a struggling pool is not
+    // hammered every poll tick. The dedicated timeout event bounds the
+    // whole affair; healthy switches keep the plain poll cadence.
+    ++shortfalls;
+    ++switch_retries_;
+    delay = std::min(
+        cfg_.prewarm_poll_s * std::pow(cfg_.switch_retry_backoff, shortfalls),
+        cfg_.switch_timeout_s);
+    if (trace_on()) {
+      obs_->tracer().instant(
+          obs_->tracer().track("svc:" + service + "/control"),
+          "prewarm_retry", engine_.now(), kSwitchCat,
+          {obs::TraceArg::of("shortfalls", static_cast<double>(shortfalls))});
+    }
+    if (obs_ != nullptr && obs_->metrics_on()) {
+      obs_->metrics()
+          .counter("switch_retries",
+                   {{"service", service}, {"to", "serverless"}})
+          .inc();
+    }
+  } else {
+    shortfalls = 0;
+  }
+  engine_.schedule_in(delay, [this, service, needed, generation, shortfalls] {
+    poll_prewarm(service, needed, generation, shortfalls);
   });
 }
 
@@ -223,6 +317,8 @@ void HybridExecutionEngine::switch_to_serverless(
                      "already on serverless");
   st.switching = true;
   const std::uint64_t generation = ++st.switch_generation;
+  st.switch_load_qps = load_qps;
+  st.retired_before_switch = serverless_.retired(service);
   serverless_.unretire(service);
   count_switch(service, "serverless", "started");
   if (trace_on()) {
@@ -254,9 +350,17 @@ void HybridExecutionEngine::switch_to_serverless(
     return;
   }
 
+  st.switch_done = std::move(on_complete);
   const int needed = cfg_.prewarm.containers_for(load_qps,
                                                  st.profile.qos_target_s);
-  const double deadline = engine_.now() + cfg_.switch_timeout_s;
+  // A dedicated timeout event bounds the switch: polls no longer race the
+  // deadline, and a straggling poll cannot postpone the abort.
+  st.switch_timeout =
+      engine_.schedule_in(cfg_.switch_timeout_s,
+                          [this, service, needed, generation] {
+                            on_serverless_switch_timeout(service, needed,
+                                                         generation);
+                          });
   if (trace_on()) {
     obs::Tracer& tr = obs_->tracer();
     tr.begin(tr.track("svc:" + service + "/control"), "prewarm",
@@ -264,15 +368,127 @@ void HybridExecutionEngine::switch_to_serverless(
              {obs::TraceArg::of("needed", static_cast<double>(needed))});
   }
   serverless_.prewarm(service, needed);
-  // Record the load on the event when it completes (poll_prewarm logs 0.0;
-  // patch it afterwards via the completion wrapper).
-  poll_prewarm(service, needed, deadline, generation,
-               [this, load_qps, cb = std::move(on_complete)](bool ok) {
-                 if (ok && !switch_events_.empty()) {
-                   switch_events_.back().load_qps = load_qps;
-                 }
-                 cb(ok);
-               });
+  poll_prewarm(service, needed, generation, /*shortfalls=*/0);
+}
+
+void HybridExecutionEngine::on_vm_ready(const std::string& service,
+                                        std::uint64_t generation) {
+  ServiceState& st = state_of(service);
+  if (st.switch_generation != generation || !st.switching) {
+    // Stale ack: the switch aborted while this boot was still in flight.
+    // Defensively put the VM back down (the abort path already stopped a
+    // kBooting VM, so this is belt-and-braces for future boot semantics).
+    iaas_.drain_and_stop(service);
+    return;
+  }
+  st.route = DeployMode::kIaas;
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.end(tr.track("svc:" + service + "/vm"), "vm:boot", engine_.now());
+    const auto track = tr.track("svc:" + service + "/control");
+    tr.instant(track, "ack", engine_.now(), kSwitchCat);
+    tr.instant(track, "route_flip", engine_.now(), kSwitchCat);
+  }
+  flush_boot_buffer(service);
+  // Shutdown signal S_sd: reclaim the containers once their in-flight
+  // queries complete.
+  serverless_.retire(service);
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    const auto track = tr.track("svc:" + service + "/control");
+    tr.instant(track, "release:containers", engine_.now(), kSwitchCat);
+    tr.end(track, "switch:to_iaas", engine_.now(),
+           {obs::TraceArg::of("completed", 1.0)});
+  }
+  count_switch(service, "iaas", "completed");
+  switch_events_.push_back(
+      {engine_.now(), service, DeployMode::kIaas, st.switch_load_qps});
+  finish_switch(st, true);
+}
+
+void HybridExecutionEngine::on_vm_boot_failed(const std::string& service,
+                                              std::uint64_t generation,
+                                              int attempt) {
+  ServiceState& st = state_of(service);
+  if (st.switch_generation != generation || !st.switching) return;
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.end(tr.track("svc:" + service + "/vm"), "vm:boot", engine_.now(),
+           {obs::TraceArg::of("completed", 0.0)});
+  }
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    obs_->metrics()
+        .counter("vm_boot_failures", {{"service", service}})
+        .inc();
+  }
+  if (attempt + 1 >= cfg_.switch_max_retries) {
+    abort_to_iaas(service);
+    return;
+  }
+  ++switch_retries_;
+  if (trace_on()) {
+    obs_->tracer().instant(
+        obs_->tracer().track("svc:" + service + "/control"), "boot_retry",
+        engine_.now(), kSwitchCat,
+        {obs::TraceArg::of("attempt", static_cast<double>(attempt + 1))});
+  }
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    obs_->metrics()
+        .counter("switch_retries", {{"service", service}, {"to", "iaas"}})
+        .inc();
+  }
+  const double delay =
+      cfg_.prewarm_poll_s * std::pow(cfg_.switch_retry_backoff, attempt);
+  engine_.schedule_in(delay, [this, service, generation, attempt] {
+    start_vm_boot(service, generation, attempt + 1);
+  });
+}
+
+void HybridExecutionEngine::start_vm_boot(const std::string& service,
+                                          std::uint64_t generation,
+                                          int attempt) {
+  ServiceState& st = state_of(service);
+  if (st.switch_generation != generation || !st.switching) return;
+  iaas_.boot(
+      service, [this, service, generation] { on_vm_ready(service, generation); },
+      [this, service, generation, attempt] {
+        on_vm_boot_failed(service, generation, attempt);
+      });
+  // Emitted after iaas_.boot so a cancelled drain's "vm:drain" end (fired
+  // inline by boot()) lands before this begin — sync spans per track are a
+  // stack and must stay balanced.
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    tr.begin(tr.track("svc:" + service + "/vm"), "vm:boot", engine_.now(),
+             kSwitchCat,
+             {obs::TraceArg::of("attempt", static_cast<double>(attempt))});
+  }
+}
+
+void HybridExecutionEngine::abort_to_iaas(const std::string& service) {
+  ServiceState& st = state_of(service);
+  // Supersede pending boots/retries, then stand down: the service stays on
+  // serverless (its containers keep serving) and the controller re-decides
+  // after the cooldown.
+  ++st.switch_generation;
+  const bool booting = iaas_.state(service) == iaas::VmState::kBooting;
+  if (booting) {
+    iaas_.drain_and_stop(service);  // aborts the in-flight boot outright
+    if (trace_on()) {
+      obs::Tracer& tr = obs_->tracer();
+      tr.end(tr.track("svc:" + service + "/vm"), "vm:boot", engine_.now(),
+             {obs::TraceArg::of("completed", 0.0)});
+    }
+  }
+  if (trace_on()) {
+    obs::Tracer& tr = obs_->tracer();
+    const auto track = tr.track("svc:" + service + "/control");
+    tr.instant(track, "switch_abort", engine_.now(), kSwitchCat);
+    tr.end(track, "switch:to_iaas", engine_.now(),
+           {obs::TraceArg::of("completed", 0.0)});
+  }
+  count_switch(service, "iaas", "aborted");
+  finish_switch(st, false);
 }
 
 void HybridExecutionEngine::switch_to_iaas(
@@ -283,7 +499,9 @@ void HybridExecutionEngine::switch_to_iaas(
   AMOEBA_EXPECTS_MSG(!st.switching, "switch already in progress");
   AMOEBA_EXPECTS_MSG(st.route == DeployMode::kServerless, "already on IaaS");
   st.switching = true;
-  ++st.switch_generation;
+  const std::uint64_t generation = ++st.switch_generation;
+  st.switch_load_qps = load_qps;
+  st.switch_done = std::move(on_complete);
   count_switch(service, "iaas", "started");
   if (trace_on()) {
     obs::Tracer& tr = obs_->tracer();
@@ -291,43 +509,17 @@ void HybridExecutionEngine::switch_to_iaas(
              engine_.now(), kSwitchCat,
              {obs::TraceArg::of("load_qps", load_qps)});
   }
-  const std::string name = service;
-  iaas_.boot(name, [this, name, load_qps,
-                    cb = std::move(on_complete)]() mutable {
-    ServiceState& s = state_of(name);
-    s.switching = false;
-    s.route = DeployMode::kIaas;
-    if (trace_on()) {
-      obs::Tracer& tr = obs_->tracer();
-      tr.end(tr.track("svc:" + name + "/vm"), "vm:boot", engine_.now());
-      const auto track = tr.track("svc:" + name + "/control");
-      tr.instant(track, "ack", engine_.now(), kSwitchCat);
-      tr.instant(track, "route_flip", engine_.now(), kSwitchCat);
-    }
-    flush_boot_buffer(name);
-    // Shutdown signal S_sd: reclaim the containers once their in-flight
-    // queries complete.
-    serverless_.retire(name);
-    if (trace_on()) {
-      obs::Tracer& tr = obs_->tracer();
-      const auto track = tr.track("svc:" + name + "/control");
-      tr.instant(track, "release:containers", engine_.now(), kSwitchCat);
-      tr.end(track, "switch:to_iaas", engine_.now(),
-             {obs::TraceArg::of("completed", 1.0)});
-    }
-    count_switch(name, "iaas", "completed");
-    switch_events_.push_back(
-        {engine_.now(), name, DeployMode::kIaas, load_qps});
-    cb(true);
-  });
-  // Emitted after iaas_.boot so a cancelled drain's "vm:drain" end (fired
-  // inline by boot()) lands before this begin — sync spans per track are a
-  // stack and must stay balanced.
-  if (trace_on()) {
-    obs::Tracer& tr = obs_->tracer();
-    tr.begin(tr.track("svc:" + service + "/vm"), "vm:boot", engine_.now(),
-             kSwitchCat);
-  }
+  // Boot first, then arm the timeout: a boot completing exactly at the
+  // deadline was scheduled earlier and so fires first (FIFO tie-break),
+  // letting an on-budget switch win the tie and cancel the timeout.
+  start_vm_boot(service, generation, /*attempt=*/0);
+  st.switch_timeout = engine_.schedule_in(
+      cfg_.switch_timeout_s, [this, service, generation] {
+        ServiceState& s = state_of(service);
+        if (s.switch_generation != generation || !s.switching) return;
+        s.switch_timeout = sim::kNoEvent;  // we are the timeout event
+        abort_to_iaas(service);
+      });
 }
 
 }  // namespace amoeba::core

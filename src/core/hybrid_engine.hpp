@@ -38,6 +38,16 @@ struct HybridEngineConfig {
   double mirror_fraction = 0.08;  ///< IaaS-mode sampling share to serverless
   double prewarm_poll_s = 0.25;   ///< ack polling interval during switches
   double switch_timeout_s = 30.0; ///< abort a switch that cannot complete
+  /// Max VM boot attempts per to-IaaS switch before the switch aborts
+  /// (boots can fail under fault injection).
+  int switch_max_retries = 3;
+  /// Exponential backoff base for retry delays: the k-th retry waits
+  /// prewarm_poll_s * backoff^k (capped by the switch timeout).
+  double switch_retry_backoff = 2.0;
+  /// After an aborted switch the service refuses new switch decisions for
+  /// this long, so a persistently failing platform cannot make the
+  /// controller flap (the runtime skips decisions while in_cooldown()).
+  double abort_cooldown_s = 10.0;
 
   void validate() const;
 };
@@ -82,6 +92,9 @@ class HybridExecutionEngine {
   [[nodiscard]] DeployMode route(const std::string& service) const;
   [[nodiscard]] bool transitioning(const std::string& service) const;
 
+  /// True while the post-abort cooldown is active for this service.
+  [[nodiscard]] bool in_cooldown(const std::string& service) const;
+
   /// Containers the service could obtain right now: its current ones plus
   /// pool headroom, clamped to its n_max (the M/M/N "n").
   [[nodiscard]] int available_containers(const std::string& service) const;
@@ -117,6 +130,12 @@ class HybridExecutionEngine {
   [[nodiscard]] std::uint64_t mirrored_queries() const noexcept {
     return mirrored_;
   }
+  [[nodiscard]] std::uint64_t switch_aborts() const noexcept {
+    return switch_aborts_;
+  }
+  [[nodiscard]] std::uint64_t switch_retries() const noexcept {
+    return switch_retries_;
+  }
 
  private:
   struct ServiceState {
@@ -127,14 +146,37 @@ class HybridExecutionEngine {
     bool switching = false;
     std::uint64_t switch_generation = 0;  ///< invalidates stale poll events
     std::deque<workload::QueryCompletionFn> boot_buffer;  ///< pre-VM-ready
+    // In-flight switch bookkeeping (valid while `switching`):
+    double switch_load_qps = 0.0;  ///< load recorded on the switch event
+    bool retired_before_switch = false;  ///< re-retire on abort
+    sim::EventId switch_timeout = sim::kNoEvent;
+    std::function<void(bool)> switch_done;
+    double cooldown_until = 0.0;  ///< no new switches before this time
   };
 
   ServiceState& state_of(const std::string& service);
   const ServiceState& state_of(const std::string& service) const;
   void flush_boot_buffer(const std::string& service);
-  void poll_prewarm(const std::string& service, int needed, double deadline,
-                    std::uint64_t generation,
-                    std::function<void(bool)> on_complete);
+  /// Boot (and on injected failure, re-boot with backoff, without bound —
+  /// the initial deployment must eventually exist) the service's first VM.
+  void boot_initial_vm(const std::string& service, int attempt);
+  void poll_prewarm(const std::string& service, int needed,
+                    std::uint64_t generation, int shortfalls);
+  void complete_to_serverless(const std::string& service, int needed);
+  /// Timeout abort of an in-flight to-serverless switch: release the
+  /// prewarmed warm set, restore the pre-switch retire state, start the
+  /// cooldown, and report failure. Stale generations are ignored.
+  void on_serverless_switch_timeout(const std::string& service, int needed,
+                                    std::uint64_t generation);
+  void start_vm_boot(const std::string& service, std::uint64_t generation,
+                     int attempt);
+  void on_vm_ready(const std::string& service, std::uint64_t generation);
+  void on_vm_boot_failed(const std::string& service,
+                         std::uint64_t generation, int attempt);
+  void abort_to_iaas(const std::string& service);
+  /// Pop the stored completion callback and finish the switch bookkeeping
+  /// shared by every terminal path (cooldown on failure).
+  void finish_switch(ServiceState& st, bool ok);
 
   /// Drain the service's VM, bracketing it in a "vm:drain" span when the
   /// observer is tracing.
@@ -155,6 +197,8 @@ class HybridExecutionEngine {
   obs::Observer* obs_ = nullptr;
   std::vector<SwitchEvent> switch_events_;
   std::uint64_t mirrored_ = 0;
+  std::uint64_t switch_aborts_ = 0;
+  std::uint64_t switch_retries_ = 0;
 };
 
 }  // namespace amoeba::core

@@ -152,6 +152,15 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
   serverless::ServerlessPlatform sp(engine, cluster.serverless, rng.fork(1));
   iaas::IaasPlatform ip(engine, cluster.iaas, rng.fork(2));
 
+  // Fault injection rides its own rng fork: a fault-free config creates no
+  // injector and stays byte-identical to pre-fault-layer runs.
+  std::unique_ptr<sim::FaultInjector> faults;
+  if (opt.faults.any()) {
+    faults = std::make_unique<sim::FaultInjector>(opt.faults, rng.fork(4));
+    sp.set_fault_injector(faults.get());
+    ip.set_fault_injector(faults.get());
+  }
+
   const double duration = opt.warmup_s + opt.period_s * opt.duration_days;
   RunRecorder recorder(opt.warmup_s);
 
@@ -190,15 +199,30 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
 
   std::unique_ptr<core::AmoebaRuntime> runtime;
   workload::ArrivalFn fg_arrival;
+  std::function<void()> nameko_boot;  // must outlive the event loop
   const std::string fg_name = foreground.name;
 
   switch (system) {
     case DeploySystem::kNameko: {
       ip.register_service(foreground, just_enough_vm(foreground, cluster));
-      ip.boot(fg_name, [] {});
-      fg_arrival = [&ip, fg_name, fg_observer] {
-        ip.submit(fg_name, fg_observer);
-      };
+      if (faults) {
+        // Injected boot failures: keep rebooting until the VM sticks, and
+        // shed arrivals while it is down (a pure-IaaS outage loses queries).
+        nameko_boot = [&engine, &ip, &nameko_boot, fg_name] {
+          ip.boot(fg_name, [] {}, [&engine, &nameko_boot] {
+            engine.schedule_in(1.0, [&nameko_boot] { nameko_boot(); });
+          });
+        };
+        nameko_boot();
+        fg_arrival = [&ip, fg_name, fg_observer] {
+          if (ip.is_running(fg_name)) ip.submit(fg_name, fg_observer);
+        };
+      } else {
+        ip.boot(fg_name, [] {});
+        fg_arrival = [&ip, fg_name, fg_observer] {
+          ip.submit(fg_name, fg_observer);
+        };
+      }
       break;
     }
     case DeploySystem::kOpenWhisk: {
@@ -217,6 +241,7 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
         cfg.timeline_period_s = opt.timeline_period_s;
       }
       if (opt.observer != nullptr) cfg.observer = opt.observer;
+      cfg.fault_injector = faults.get();
       runtime = std::make_unique<core::AmoebaRuntime>(
           engine, sp, ip, calibration, cfg, rng.fork(3));
       const auto vm_spec = just_enough_vm(foreground, cluster);
@@ -267,11 +292,14 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
     default:
       result.usage = runtime->accountant().usage(fg_name, duration);
       result.switches = runtime->switch_events();
+      result.switch_aborts = runtime->execution_engine().switch_aborts();
+      result.switch_retries = runtime->execution_engine().switch_retries();
       if (runtime->timeline_period() > 0.0) {
         result.timeline = runtime->timeline(fg_name);
       }
       break;
   }
+  if (faults) result.fault_counters = faults->counters();
   result.trace_hash = engine.trace_hash();
   return result;
 }

@@ -105,6 +105,11 @@ struct ManagedRunOptions {
   /// nullptr = disabled). Ignored by the pure baselines, which have no
   /// control loop to observe. Takes precedence over `amoeba->observer`.
   obs::Observer* observer = nullptr;
+  /// Fault injection rates. All-zero (the default) runs fault-free and is
+  /// byte-identical to a build without the subsystem; any nonzero rate
+  /// attaches a FaultInjector (seeded from the run seed, fork 4) to the
+  /// container pool, the VM fleet and the contention monitor.
+  sim::FaultConfig faults;
 };
 
 struct ManagedRunResult {
@@ -119,6 +124,11 @@ struct ManagedRunResult {
   /// Hash of the executed event trace (timestamp, event id) — identical
   /// across runs iff the simulation was deterministic (see Engine::trace_hash).
   std::uint64_t trace_hash = 0;
+  /// Switch-protocol resilience counters (managed systems only).
+  std::uint64_t switch_aborts = 0;
+  std::uint64_t switch_retries = 0;
+  /// Injected-fault tallies (all zero when `faults` was all-zero).
+  sim::FaultCounters fault_counters;
 
   [[nodiscard]] double p95() const { return latencies.quantile(0.95); }
   [[nodiscard]] double violation_fraction() const {

@@ -20,10 +20,16 @@ void IaasPlatform::register_service(const workload::FunctionProfile& profile,
   AMOEBA_EXPECTS_MSG(!vms_.contains(profile.name),
                      "service already registered");
   if (spec.boot_s < 0.0) spec.boot_s = cfg_.vm_boot_s;
-  vms_.emplace(profile.name, std::make_unique<VirtualMachine>(
-                                 engine_, profile, spec,
-                                 rng_.fork(vms_.size() + 101), cfg_.disk_bps,
-                                 cfg_.net_bps));
+  auto [it, inserted] = vms_.emplace(
+      profile.name, std::make_unique<VirtualMachine>(
+                        engine_, profile, spec, rng_.fork(vms_.size() + 101),
+                        cfg_.disk_bps, cfg_.net_bps));
+  it->second->set_fault_injector(faults_);
+}
+
+void IaasPlatform::set_fault_injector(sim::FaultInjector* faults) noexcept {
+  faults_ = faults;
+  for (auto& [name, machine] : vms_) machine->set_fault_injector(faults);
 }
 
 bool IaasPlatform::has_service(const std::string& name) const {
@@ -43,8 +49,9 @@ const VmSpec& IaasPlatform::spec(const std::string& service) const {
 }
 
 void IaasPlatform::boot(const std::string& service,
-                        std::function<void()> on_ready) {
-  vm(service).boot(std::move(on_ready));
+                        std::function<void()> on_ready,
+                        std::function<void()> on_failed) {
+  vm(service).boot(std::move(on_ready), std::move(on_failed));
 }
 
 void IaasPlatform::drain_and_stop(

@@ -29,7 +29,12 @@ class IaasPlatform {
 
   [[nodiscard]] bool has_service(const std::string& name) const;
 
-  void boot(const std::string& service, std::function<void()> on_ready);
+  void boot(const std::string& service, std::function<void()> on_ready,
+            std::function<void()> on_failed = {});
+
+  /// Attach the fault injector to every VM, present and future (non-owning;
+  /// nullptr disables injection).
+  void set_fault_injector(sim::FaultInjector* faults) noexcept;
   /// See VirtualMachine::drain_and_stop for the callback contract.
   void drain_and_stop(const std::string& service,
                       std::function<void(bool completed)> on_drained = {});
@@ -53,6 +58,7 @@ class IaasPlatform {
   IaasConfig cfg_;
   sim::Rng rng_;
   std::map<std::string, std::unique_ptr<VirtualMachine>> vms_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace amoeba::iaas

@@ -50,7 +50,8 @@ void VirtualMachine::advance_accounting(sim::Time now) {
                         rented_core_s_, rented_mb_s_, uptime_s_);
 }
 
-void VirtualMachine::boot(std::function<void()> on_ready) {
+void VirtualMachine::boot(std::function<void()> on_ready,
+                          std::function<void()> on_failed) {
   AMOEBA_EXPECTS(on_ready != nullptr);
   advance_accounting(engine_.now());
   switch (state_) {
@@ -69,14 +70,29 @@ void VirtualMachine::boot(std::function<void()> on_ready) {
   }
   state_ = VmState::kBooting;
   const std::uint64_t generation = ++boot_generation_;
-  engine_.schedule_in(spec_.boot_s,
-                      [this, generation, cb = std::move(on_ready)] {
-                        if (boot_generation_ != generation) return;
-                        if (state_ != VmState::kBooting) return;
-                        advance_accounting(engine_.now());
-                        state_ = VmState::kRunning;
-                        cb();
-                      });
+  double boot_s = spec_.boot_s;
+  bool boot_fails = false;
+  if (faults_ != nullptr) {
+    const sim::FaultInjector::BootFault fault = faults_->next_vm_boot();
+    boot_fails = fault.fail;
+    boot_s *= fault.delay_multiplier;
+  }
+  engine_.schedule_in(
+      boot_s, [this, generation, boot_fails, cb = std::move(on_ready),
+               fb = std::move(on_failed)] {
+        if (boot_generation_ != generation) return;
+        if (state_ != VmState::kBooting) return;
+        advance_accounting(engine_.now());
+        if (boot_fails) {
+          // Rent accrued for the whole failed boot window; release now.
+          state_ = VmState::kStopped;
+          ++boot_failures_;
+          if (fb) fb();
+          return;
+        }
+        state_ = VmState::kRunning;
+        cb();
+      });
 }
 
 void VirtualMachine::drain_and_stop(

@@ -17,6 +17,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/fair_share.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/random.hpp"
 #include "workload/function_profile.hpp"
 #include "workload/query.hpp"
@@ -43,7 +44,18 @@ class VirtualMachine {
   /// Begin booting (from kStopped); `on_ready` fires when kRunning.
   /// Calling while kDraining cancels the drain and returns to kRunning
   /// immediately (on_ready fires via the engine at the current time).
-  void boot(std::function<void()> on_ready);
+  ///
+  /// With a fault injector attached the boot may straggle (inflated boot
+  /// time) or fail: a failed boot accrues rent for the full (possibly
+  /// inflated) boot window, then the VM returns to kStopped and
+  /// `on_failed` fires instead of `on_ready` (no-op if not provided).
+  void boot(std::function<void()> on_ready,
+            std::function<void()> on_failed = {});
+
+  /// Attach the fault injector (non-owning; nullptr disables injection).
+  void set_fault_injector(sim::FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
 
   /// Stop accepting work; transition to kStopped (releasing the rented
   /// resources) once in-flight queries complete. `on_drained(true)` fires
@@ -72,6 +84,10 @@ class VirtualMachine {
   /// Total wall-clock seconds the VM has been up (booting+running+draining).
   double uptime_seconds(sim::Time now);
 
+  [[nodiscard]] std::uint64_t boot_failures() const noexcept {
+    return boot_failures_;
+  }
+
  private:
   void advance_accounting(sim::Time now);
   void maybe_finish_drain();
@@ -89,6 +105,8 @@ class VirtualMachine {
   int in_flight_ = 0;
   std::uint64_t boot_generation_ = 0;  ///< invalidates stale boot events
   std::uint64_t next_query_id_ = 1;
+  std::uint64_t boot_failures_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
 
   // Accounting: rented integrals accumulate only while the VM is up.
   sim::Time mark_ = 0.0;

@@ -27,11 +27,19 @@ ContainerPool::ContainerPool(sim::Engine& engine, double memory_capacity_mb,
 
 std::optional<ContainerId> ContainerPool::start(
     const std::string& function, double memory_mb, double boot_s,
-    std::function<void(ContainerId)> on_ready) {
+    std::function<void(ContainerId)> on_ready,
+    std::function<void(ContainerId)> on_failed) {
   AMOEBA_EXPECTS(memory_mb > 0.0);
   AMOEBA_EXPECTS(boot_s >= 0.0);
   AMOEBA_EXPECTS(on_ready != nullptr);
   if (!memory_.try_acquire(memory_mb)) return std::nullopt;
+
+  bool boot_fails = false;
+  if (faults_ != nullptr) {
+    const sim::FaultInjector::BootFault fault = faults_->next_container_boot();
+    boot_fails = fault.fail;
+    boot_s *= fault.delay_multiplier;
+  }
 
   const ContainerId id = next_id_++;
   Container c;
@@ -47,11 +55,19 @@ std::optional<ContainerId> ContainerPool::start(
   it->second.add(engine_.now(), memory_mb);
   ++cold_starts_;
 
-  engine_.schedule_in(boot_s, [this, id, cb = std::move(on_ready)] {
+  engine_.schedule_in(boot_s, [this, id, boot_fails, cb = std::move(on_ready),
+                               fb = std::move(on_failed)] {
     auto cit = containers_.find(id);
     if (cit == containers_.end()) return;  // destroyed while starting
     Container& cont = cit->second;
     AMOEBA_ASSERT(cont.state == ContainerState::kStarting);
+    if (boot_fails) {
+      // A failed boot held its memory for the full window; release it now.
+      ++boot_failures_;
+      destroy(id);
+      if (fb) fb(id);
+      return;
+    }
     cont.state = ContainerState::kIdle;
     cont.ready_at = engine_.now();
     cont.idle_since = engine_.now();
@@ -200,6 +216,17 @@ PoolCounts ContainerPool::total_counts() const {
 int ContainerPool::headroom(double memory_mb) const {
   AMOEBA_EXPECTS(memory_mb > 0.0);
   return static_cast<int>(memory_.available() / memory_mb);
+}
+
+std::vector<ContainerId> ContainerPool::starting_ids(
+    const std::string& function) const {
+  std::vector<ContainerId> out;
+  for (const auto& [id, c] : containers_) {
+    if (c.function == function && c.state == ContainerState::kStarting) {
+      out.push_back(id);
+    }
+  }
+  return out;
 }
 
 double ContainerPool::memory_mb_seconds(const std::string& function,

@@ -16,6 +16,7 @@
 #include "serverless/container.hpp"
 #include "sim/counting_resource.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_injector.hpp"
 #include "stats/gauge.hpp"
 
 namespace amoeba::serverless {
@@ -38,9 +39,20 @@ class ContainerPool {
   /// after `boot_s` simulated seconds the container turns idle and
   /// `on_ready(id)` fires. Returns nullopt if memory is insufficient
   /// (caller may evict_lru_idle() and retry).
-  std::optional<ContainerId> start(const std::string& function,
-                                   double memory_mb, double boot_s,
-                                   std::function<void(ContainerId)> on_ready);
+  ///
+  /// With a fault injector attached the boot may straggle (inflated boot
+  /// time) or fail: a failed boot holds its memory for the full (possibly
+  /// inflated) boot window, then the container is destroyed and
+  /// `on_failed(id)` fires instead of `on_ready`.
+  std::optional<ContainerId> start(
+      const std::string& function, double memory_mb, double boot_s,
+      std::function<void(ContainerId)> on_ready,
+      std::function<void(ContainerId)> on_failed = nullptr);
+
+  /// Attach the fault injector (non-owning; nullptr disables injection).
+  void set_fault_injector(sim::FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
 
   /// True if `memory_mb` could be reserved right now.
   [[nodiscard]] bool memory_available(double memory_mb) const;
@@ -75,6 +87,11 @@ class ContainerPool {
   /// Number of additional containers of `memory_mb` that could start now.
   [[nodiscard]] int headroom(double memory_mb) const;
 
+  /// Ids of `function`'s containers still in the kStarting state
+  /// (deterministic ascending-id order). Used for abort reclamation.
+  [[nodiscard]] std::vector<ContainerId> starting_ids(
+      const std::string& function) const;
+
   [[nodiscard]] double memory_capacity_mb() const noexcept {
     return memory_.capacity();
   }
@@ -89,6 +106,9 @@ class ContainerPool {
     return cold_starts_;
   }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::uint64_t boot_failures() const noexcept {
+    return boot_failures_;
+  }
 
  private:
   void expire(ContainerId id);
@@ -103,6 +123,8 @@ class ContainerPool {
   std::unordered_map<std::string, stats::IntegratedGauge> mem_gauge_by_fn_;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t boot_failures_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace amoeba::serverless

@@ -122,7 +122,8 @@ int ServerlessPlatform::prewarm(const std::string& function, int count) {
     if (!try_make_room(st)) break;
     const auto cid = pool_.start(
         function, st.profile.memory_mb, sample_cold_start(),
-        [this, function](ContainerId id) { on_container_ready(function, id); });
+        [this, function](ContainerId id) { on_container_ready(function, id); },
+        [this, function](ContainerId id) { on_container_failed(function, id); });
     if (!cid.has_value()) break;
     trace_container(function, *cid, /*begin=*/true);
     ++started;
@@ -146,7 +147,8 @@ void ServerlessPlatform::pump(const std::string& function) {
     if (!try_make_room(st)) break;
     const auto cid = pool_.start(
         function, st.profile.memory_mb, sample_cold_start(),
-        [this, function](ContainerId id) { on_container_ready(function, id); });
+        [this, function](ContainerId id) { on_container_ready(function, id); },
+        [this, function](ContainerId id) { on_container_failed(function, id); });
     if (!cid.has_value()) break;
     trace_container(function, *cid, /*begin=*/true);
     st.bound.emplace(*cid, std::move(st.queue.front()));
@@ -165,6 +167,27 @@ void ServerlessPlatform::on_container_ready(const std::string& function,
     pool_.mark_busy(cid);
     run_invocation(st, cid, std::move(p));
     return;
+  }
+  pump(function);
+}
+
+void ServerlessPlatform::on_container_failed(const std::string& function,
+                                             ContainerId cid) {
+  trace_container(function, cid, /*begin=*/false);
+  FunctionState& st = state_of(function);
+  st.stats.boot_failures += 1;
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    obs_->metrics()
+        .counter("container_boot_failures", {{"function", function}})
+        .inc();
+  }
+  // A query bound to the failed container (OpenWhisk semantics) is rescued
+  // to the head of the queue so it keeps its FIFO position; the re-pump
+  // below cold-starts a fresh container for it.
+  auto it = st.bound.find(cid);
+  if (it != st.bound.end()) {
+    st.queue.push_front(std::move(it->second));
+    st.bound.erase(it);
   }
   pump(function);
 }
@@ -317,6 +340,20 @@ void ServerlessPlatform::unretire(const std::string& function) {
 
 bool ServerlessPlatform::retired(const std::string& function) const {
   return state_of(function).retired;
+}
+
+int ServerlessPlatform::release_prewarmed(const std::string& function) {
+  FunctionState& st = state_of(function);
+  int destroyed = pool_.destroy_idle(function);
+  for (ContainerId cid : pool_.starting_ids(function)) {
+    if (st.bound.contains(cid)) continue;  // still owed to its bound query
+    // The boot's async trace span would otherwise dangle: its completion
+    // event self-cancels on destroy, so end the span here.
+    trace_container(function, cid, /*begin=*/false);
+    pool_.destroy(cid);
+    ++destroyed;
+  }
+  return destroyed;
 }
 
 std::size_t ServerlessPlatform::queue_length(

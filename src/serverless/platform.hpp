@@ -67,7 +67,8 @@ struct FunctionStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t cold_hits = 0;
-  double cpu_core_seconds = 0.0;  ///< actual compute consumed
+  std::uint64_t boot_failures = 0;  ///< injected cold-start failures
+  double cpu_core_seconds = 0.0;    ///< actual compute consumed
 };
 
 class ServerlessPlatform {
@@ -90,6 +91,12 @@ class ServerlessPlatform {
   /// container boot then becomes an async span on "svc:<fn>/pool".
   void set_observer(amoeba::obs::Observer* observer) { obs_ = observer; }
 
+  /// Attach the fault injector to the container pool (non-owning; nullptr
+  /// disables). Failed boots re-queue any bound query and re-pump.
+  void set_fault_injector(sim::FaultInjector* faults) noexcept {
+    pool_.set_fault_injector(faults);
+  }
+
   /// Submit one query; `on_done` fires at completion with the full record.
   void submit(const std::string& function, QueryCompletionFn on_done);
 
@@ -104,6 +111,11 @@ class ServerlessPlatform {
   void retire(const std::string& function);
   void unretire(const std::string& function);
   [[nodiscard]] bool retired(const std::string& function) const;
+
+  /// Abort-path reclamation: destroy the function's idle containers and any
+  /// starting containers not bound to a query (those still serve the query
+  /// that caused them). Returns how many containers were destroyed.
+  int release_prewarmed(const std::string& function);
 
   /// Containers of `function` that are idle or still starting — the
   /// "warm capacity" the hybrid engine waits on before switching.
@@ -171,6 +183,7 @@ class ServerlessPlatform {
   };
 
   void on_container_ready(const std::string& function, ContainerId cid);
+  void on_container_failed(const std::string& function, ContainerId cid);
   void trace_container(const std::string& function, ContainerId cid,
                        bool begin);
 

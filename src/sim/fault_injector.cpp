@@ -1,0 +1,94 @@
+#include "sim/fault_injector.hpp"
+
+namespace amoeba::sim {
+
+namespace {
+
+void check_probability(double p) { AMOEBA_EXPECTS(p >= 0.0 && p <= 1.0); }
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_probability(container_boot_failure_p);
+  check_probability(container_straggler_p);
+  check_probability(vm_boot_failure_p);
+  check_probability(vm_straggler_p);
+  check_probability(meter_drop_p);
+  check_probability(meter_outlier_p);
+  AMOEBA_EXPECTS(container_straggler_factor >= 1.0);
+  AMOEBA_EXPECTS(vm_straggler_factor >= 1.0);
+  AMOEBA_EXPECTS(meter_outlier_factor >= 1.0);
+  AMOEBA_EXPECTS(container_boot_fail_first_n >= 0);
+  AMOEBA_EXPECTS(vm_boot_fail_first_n >= 0);
+}
+
+bool FaultConfig::any() const noexcept {
+  return container_boot_failure_p > 0.0 || container_straggler_p > 0.0 ||
+         container_boot_fail_first_n > 0 || vm_boot_failure_p > 0.0 ||
+         vm_straggler_p > 0.0 || vm_boot_fail_first_n > 0 ||
+         meter_drop_p > 0.0 || meter_outlier_p > 0.0;
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg, Rng rng)
+    : cfg_(cfg),
+      container_rng_(rng.fork(1)),
+      vm_rng_(rng.fork(2)),
+      meter_rng_(rng.fork(3)) {
+  cfg_.validate();
+}
+
+FaultInjector::BootFault FaultInjector::next_container_boot() {
+  BootFault out;
+  ++container_boots_seen_;
+  if (cfg_.container_straggler_p > 0.0 &&
+      container_rng_.uniform() < cfg_.container_straggler_p) {
+    out.delay_multiplier = cfg_.container_straggler_factor;
+    ++counters_.container_stragglers;
+  }
+  if (container_boots_seen_ <=
+      static_cast<std::uint64_t>(cfg_.container_boot_fail_first_n)) {
+    out.fail = true;
+  } else if (cfg_.container_boot_failure_p > 0.0 &&
+             container_rng_.uniform() < cfg_.container_boot_failure_p) {
+    out.fail = true;
+  }
+  if (out.fail) ++counters_.container_boot_failures;
+  return out;
+}
+
+FaultInjector::BootFault FaultInjector::next_vm_boot() {
+  BootFault out;
+  ++vm_boots_seen_;
+  if (cfg_.vm_straggler_p > 0.0 && vm_rng_.uniform() < cfg_.vm_straggler_p) {
+    out.delay_multiplier = cfg_.vm_straggler_factor;
+    ++counters_.vm_stragglers;
+  }
+  if (vm_boots_seen_ <= static_cast<std::uint64_t>(cfg_.vm_boot_fail_first_n)) {
+    out.fail = true;
+  } else if (cfg_.vm_boot_failure_p > 0.0 &&
+             vm_rng_.uniform() < cfg_.vm_boot_failure_p) {
+    out.fail = true;
+  }
+  if (out.fail) ++counters_.vm_boot_failures;
+  return out;
+}
+
+bool FaultInjector::next_meter_drop() {
+  if (cfg_.meter_drop_p <= 0.0) return false;
+  if (meter_rng_.uniform() < cfg_.meter_drop_p) {
+    ++counters_.meter_drops;
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::next_meter_multiplier() {
+  if (cfg_.meter_outlier_p <= 0.0) return 1.0;
+  if (meter_rng_.uniform() < cfg_.meter_outlier_p) {
+    ++counters_.meter_outliers;
+    return cfg_.meter_outlier_factor;
+  }
+  return 1.0;
+}
+
+}  // namespace amoeba::sim

@@ -1,0 +1,99 @@
+// Deterministic fault injection for the simulated platforms.
+//
+// Real FaaS and IaaS control planes exhibit boot stragglers, allocation
+// failures and lost telemetry (Aquatope, ASPLOS'23, models exactly this
+// uncertainty). The injector centralises those draws so every failure in a
+// run is (a) reproducible — each fault class consumes its own forked
+// `sim::Rng` stream, so same-seed runs execute identical fault schedules —
+// and (b) observable — per-class counters feed the ablation benches and
+// the obs:: layer.
+//
+// Consumers (ContainerPool, VirtualMachine, ContentionMonitor) hold a
+// non-owning pointer; a null pointer or an all-zero config costs nothing
+// and draws nothing, so fault-free runs stay bit-identical to builds
+// without the subsystem.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+
+namespace amoeba::sim {
+
+struct FaultConfig {
+  // Serverless container cold starts.
+  double container_boot_failure_p = 0.0;  ///< boot attempt dies at boot end
+  double container_straggler_p = 0.0;     ///< boot time tail inflation
+  double container_straggler_factor = 4.0;
+  /// Deterministic override: fail the first n container boots outright
+  /// (before any probabilistic draw). Test / targeted-scenario hook.
+  int container_boot_fail_first_n = 0;
+
+  // IaaS VM boots.
+  double vm_boot_failure_p = 0.0;
+  double vm_straggler_p = 0.0;
+  double vm_straggler_factor = 3.0;
+  int vm_boot_fail_first_n = 0;
+
+  // Contention-meter samples.
+  double meter_drop_p = 0.0;     ///< probe completion lost before recording
+  double meter_outlier_p = 0.0;  ///< probe latency contaminated
+  double meter_outlier_factor = 8.0;
+
+  void validate() const;
+  /// True if any fault class has a nonzero rate or deterministic override.
+  [[nodiscard]] bool any() const noexcept;
+};
+
+struct FaultCounters {
+  std::uint64_t container_boot_failures = 0;
+  std::uint64_t container_stragglers = 0;
+  std::uint64_t vm_boot_failures = 0;
+  std::uint64_t vm_stragglers = 0;
+  std::uint64_t meter_drops = 0;
+  std::uint64_t meter_outliers = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return container_boot_failures + container_stragglers + vm_boot_failures +
+           vm_stragglers + meter_drops + meter_outliers;
+  }
+};
+
+class FaultInjector {
+ public:
+  struct BootFault {
+    bool fail = false;
+    double delay_multiplier = 1.0;  ///< applied to the nominal boot time
+  };
+
+  FaultInjector(FaultConfig cfg, Rng rng);
+
+  /// Decide the fate of the next container cold start / VM boot. Draws are
+  /// made only for fault classes with nonzero probability, so an all-zero
+  /// config consumes no randomness.
+  BootFault next_container_boot();
+  BootFault next_vm_boot();
+
+  /// True if the next meter probe sample should be lost.
+  [[nodiscard]] bool next_meter_drop();
+  /// Multiplier for the next recorded meter latency (1.0 = clean sample).
+  [[nodiscard]] double next_meter_multiplier();
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  FaultConfig cfg_;
+  // Independent streams per fault class: the interleaving of container, VM
+  // and meter decisions cannot couple their draw sequences.
+  Rng container_rng_;
+  Rng vm_rng_;
+  Rng meter_rng_;
+  FaultCounters counters_;
+  std::uint64_t container_boots_seen_ = 0;
+  std::uint64_t vm_boots_seen_ = 0;
+};
+
+}  // namespace amoeba::sim

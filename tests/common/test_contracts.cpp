@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include "common/assert.hpp"
+#include "core/hybrid_engine.hpp"
 #include "core/prewarm_policy.hpp"
 #include "core/queueing.hpp"
 #include "sim/counting_resource.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace amoeba {
 namespace {
@@ -118,6 +120,39 @@ TEST(ContractDeathTest, CountingResourceRejectsOverRelease) {
         res.release(20.0);
       },
       "releasing more than held");
+}
+
+TEST(ContractDeathTest, HybridEngineConfigRejectsBadMirrorFraction) {
+  EXPECT_DEATH(
+      {
+        set_contract_handler(&abort_contract_handler);
+        core::HybridEngineConfig cfg;
+        cfg.mirror_fraction = 1.5;
+        cfg.validate();
+      },
+      "mirror_fraction");
+}
+
+TEST(ContractDeathTest, HybridEngineConfigRejectsNonPositivePoll) {
+  EXPECT_DEATH(
+      {
+        set_contract_handler(&abort_contract_handler);
+        core::HybridEngineConfig cfg;
+        cfg.prewarm_poll_s = 0.0;
+        cfg.validate();
+      },
+      "prewarm_poll_s");
+}
+
+TEST(ContractDeathTest, FaultConfigRejectsOutOfRangeProbability) {
+  EXPECT_DEATH(
+      {
+        set_contract_handler(&abort_contract_handler);
+        sim::FaultConfig cfg;
+        cfg.container_boot_failure_p = 2.0;
+        cfg.validate();
+      },
+      "precondition violated.*p >= 0");
 }
 
 TEST(ContractDeathTest, PrewarmPolicyRejectsNonPositiveQosTarget) {

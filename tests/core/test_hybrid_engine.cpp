@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/fault_injector.hpp"
+
 namespace amoeba::core {
 namespace {
 
@@ -284,6 +286,185 @@ TEST(HybridEngine, SwitchToCurrentModeThrows) {
   f.hx.add_service(service(), vm_spec());
   f.engine.run();
   EXPECT_THROW(f.hx.switch_to_iaas("svc", 1.0, [](bool) {}), ContractError);
+}
+
+TEST(HybridEngine, ConfigValidateRejectsBadValues) {
+  auto bad = [](auto mutate) {
+    HybridEngineConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), ContractError);
+  };
+  bad([](HybridEngineConfig& c) { c.mirror_fraction = -0.1; });
+  bad([](HybridEngineConfig& c) { c.mirror_fraction = 1.5; });
+  bad([](HybridEngineConfig& c) { c.prewarm_poll_s = 0.0; });
+  bad([](HybridEngineConfig& c) { c.switch_timeout_s = 0.0; });
+  bad([](HybridEngineConfig& c) { c.switch_max_retries = 0; });
+  bad([](HybridEngineConfig& c) { c.switch_retry_backoff = 0.9; });
+  bad([](HybridEngineConfig& c) { c.abort_cooldown_s = -1.0; });
+}
+
+TEST(HybridEngine, TimeoutAbortReleasesWarmSetAndBalancesAccounting) {
+  HybridEngineConfig cfg;
+  cfg.switch_timeout_s = 3.0;
+  // Pool of three slots; "hog" occupies one, svc needs five (Eq. 7) so the
+  // prewarm can only ever partially succeed.
+  Fixture f(cfg, 768.0);
+  f.hx.add_service(service(), vm_spec());
+  workload::FunctionProfile hog = service();
+  hog.name = "hog";
+  hog.exec.cpu_seconds = 1000.0;  // never finishes within the test
+  f.sp.register_function(hog);
+  f.sp.submit("hog", [](const workload::QueryRecord&) {});
+  f.engine.run_until(6.0);  // VM booted, hog busy
+
+  bool result = true;
+  f.hx.switch_to_serverless("svc", 10.0, [&](bool ok) { result = ok; });
+  EXPECT_EQ(f.sp.counts("svc").total(), 2);  // partial prewarm only
+  f.engine.run_until(9.5);                   // timeout fires at 9.0
+  EXPECT_FALSE(result);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kIaas);  // graceful degradation
+  EXPECT_FALSE(f.hx.transitioning("svc"));
+  EXPECT_EQ(f.hx.switch_aborts(), 1u);
+  EXPECT_GT(f.hx.switch_retries(), 0u);  // shortfall polls backed off
+  // The abort released everything the switch acquired: zero residual warm
+  // containers, and the memory integral is flat from here on.
+  EXPECT_EQ(f.sp.counts("svc").total(), 0);
+  const double at_abort = f.sp.memory_mb_seconds("svc", f.engine.now());
+  f.engine.run_until(20.0);
+  EXPECT_DOUBLE_EQ(f.sp.memory_mb_seconds("svc", f.engine.now()), at_abort);
+  // The VM never went down, so IaaS rent matches a run that never switched.
+  EXPECT_TRUE(f.ip.is_running("svc"));
+  Fixture g(cfg, 768.0);
+  g.hx.add_service(service(), vm_spec());
+  g.engine.run_until(20.0);
+  EXPECT_DOUBLE_EQ(f.ip.rented_core_seconds("svc", 20.0),
+                   g.ip.rented_core_seconds("svc", 20.0));
+}
+
+TEST(HybridEngine, StalePollsAfterAbortAreSupersededByGeneration) {
+  HybridEngineConfig cfg;
+  cfg.switch_timeout_s = 3.0;
+  Fixture f(cfg, 768.0);
+  f.hx.add_service(service(), vm_spec());
+  workload::FunctionProfile hog = service();
+  hog.name = "hog";
+  hog.exec.cpu_seconds = 1000.0;
+  f.sp.register_function(hog);
+  f.sp.submit("hog", [](const workload::QueryRecord&) {});
+  f.engine.run_until(6.0);
+
+  f.hx.switch_to_serverless("svc", 10.0, [](bool) {});
+  // Backed-off polls may be scheduled past the 9.0 abort; their generation
+  // check must drop them rather than re-prewarming or flipping the route.
+  f.engine.run_until(30.0);
+  EXPECT_EQ(f.sp.counts("svc").total(), 0);
+  EXPECT_TRUE(f.hx.switch_events().empty());
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kIaas);
+  EXPECT_FALSE(f.hx.transitioning("svc"));
+}
+
+TEST(HybridEngine, TimeoutAbortRestoresPreSwitchRetireState) {
+  HybridEngineConfig cfg;
+  cfg.switch_timeout_s = 6.0;  // long enough for the 5 s VM boot leg
+  Fixture f(cfg, 768.0);
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);
+  // Round-trip: serverless and back, which retires svc on the shared pool.
+  f.hx.switch_to_serverless("svc", 4.0, [](bool) {});
+  f.engine.run_until(8.0);
+  ASSERT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+  f.hx.switch_to_iaas("svc", 4.0, [](bool) {});
+  f.engine.run_until(15.0);
+  ASSERT_EQ(f.hx.route("svc"), DeployMode::kIaas);
+  ASSERT_TRUE(f.sp.retired("svc"));
+
+  // Fill the pool so the next to-serverless switch cannot complete.
+  workload::FunctionProfile hog = service();
+  hog.name = "hog";
+  hog.exec.cpu_seconds = 1000.0;
+  f.sp.register_function(hog);
+  for (int i = 0; i < 3; ++i) {
+    f.sp.submit("hog", [](const workload::QueryRecord&) {});
+  }
+  f.engine.run_until(16.0);
+
+  bool result = true;
+  f.hx.switch_to_serverless("svc", 10.0, [&](bool ok) { result = ok; });
+  EXPECT_FALSE(f.sp.retired("svc"));  // unretired for the attempt
+  f.engine.run_until(23.0);           // timeout at 22.0
+  EXPECT_FALSE(result);
+  // The abort re-retired the service: a leaked unretire would let mirrored
+  // samples rebuild warm containers the accounting no longer tracks.
+  EXPECT_TRUE(f.sp.retired("svc"));
+  EXPECT_EQ(f.sp.counts("svc").total(), 0);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kIaas);
+  // The abort also starts the anti-flap cooldown.
+  EXPECT_TRUE(f.hx.in_cooldown("svc"));
+  f.engine.run_until(32.5);  // cooldown ends at 22.0 + 10.0
+  EXPECT_FALSE(f.hx.in_cooldown("svc"));
+}
+
+TEST(HybridEngine, ToIaasSwitchAbortsAfterBoundedBootRetries) {
+  Fixture f;
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);
+  f.hx.switch_to_serverless("svc", 4.0, [](bool) {});
+  f.engine.run_until(10.0);
+  ASSERT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+
+  sim::FaultConfig fc;
+  fc.vm_boot_fail_first_n = 100;  // every boot attempt fails
+  sim::FaultInjector faults(fc, sim::Rng(99));
+  f.ip.set_fault_injector(&faults);
+
+  bool result = true;
+  f.hx.switch_to_iaas("svc", 4.0, [&](bool ok) { result = ok; });
+  // Attempts: boot at 10 fails at 15, retries (backed off) fail at 20.25
+  // and 25.75; switch_max_retries = 3 then aborts, inside the 30 s timeout.
+  f.engine.run_until(26.0);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kServerless);  // stayed put
+  EXPECT_FALSE(f.hx.transitioning("svc"));
+  EXPECT_EQ(f.ip.state("svc"), iaas::VmState::kStopped);
+  EXPECT_EQ(faults.counters().vm_boot_failures, 3u);  // bounded
+  EXPECT_EQ(f.hx.switch_retries(), 2u);
+  EXPECT_EQ(f.hx.switch_aborts(), 1u);
+  EXPECT_TRUE(f.hx.in_cooldown("svc"));
+  // Graceful degradation, not an outage: the warm set keeps serving.
+  EXPECT_GT(f.sp.counts("svc").total(), 0);
+  int done = 0;
+  f.hx.submit("svc", [&](const workload::QueryRecord&) { ++done; });
+  f.engine.run_until(27.0);
+  EXPECT_EQ(done, 1);
+}
+
+TEST(HybridEngine, ToIaasTimeoutAbortsStragglingBoot) {
+  HybridEngineConfig cfg;
+  cfg.switch_timeout_s = 3.0;
+  Fixture f(cfg);
+  f.hx.add_service(service(), vm_spec());
+  f.engine.run_until(6.0);
+  f.hx.switch_to_serverless("svc", 4.0, [](bool) {});
+  f.engine.run_until(10.0);
+  ASSERT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+
+  sim::FaultConfig fc;
+  fc.vm_straggler_p = 1.0;
+  fc.vm_straggler_factor = 10.0;  // 5 s boot becomes 50 s
+  sim::FaultInjector faults(fc, sim::Rng(7));
+  f.ip.set_fault_injector(&faults);
+
+  bool result = true;
+  f.hx.switch_to_iaas("svc", 4.0, [&](bool ok) { result = ok; });
+  f.engine.run_until(14.0);  // timeout fires at 13.0, mid-boot
+  EXPECT_FALSE(result);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kServerless);
+  EXPECT_EQ(f.ip.state("svc"), iaas::VmState::kStopped);  // boot aborted
+  EXPECT_EQ(faults.counters().vm_stragglers, 1u);
+  // The straggler's original boot event (due at 60.0) must be inert.
+  f.engine.run();
+  EXPECT_EQ(f.ip.state("svc"), iaas::VmState::kStopped);
+  EXPECT_EQ(f.hx.route("svc"), DeployMode::kServerless);
 }
 
 TEST(HybridEngine, UnknownServiceThrows) {

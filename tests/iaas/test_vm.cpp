@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/fault_injector.hpp"
+
 namespace amoeba::iaas {
 namespace {
 
@@ -182,6 +184,66 @@ TEST(Vm, UptimeExcludesStoppedPeriods) {
   e.schedule(100.0, [] {});
   e.run();
   EXPECT_NEAR(vm.uptime_seconds(100.0), 50.0 + 20.0, 1e-9);
+}
+
+TEST(Vm, InjectedBootFailureReturnsToStoppedAndPaysRent) {
+  sim::Engine e;
+  VirtualMachine vm(e, service_profile(), spec2(), sim::Rng(11), 1e9, 1e9);
+  sim::FaultConfig fc;
+  fc.vm_boot_fail_first_n = 1;
+  sim::FaultInjector faults(fc, sim::Rng(4));
+  vm.set_fault_injector(&faults);
+
+  bool ready = false;
+  bool failed = false;
+  vm.boot([&] { ready = true; }, [&] { failed = true; });
+  e.run();
+  EXPECT_FALSE(ready);
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(vm.state(), VmState::kStopped);
+  EXPECT_EQ(vm.boot_failures(), 1u);
+  // The failed boot window is still billed (2 cores for 10 s).
+  EXPECT_NEAR(vm.rented_core_seconds(e.now()), 20.0, 1e-9);
+  // A retry (fail-first budget exhausted) succeeds.
+  vm.boot([&] { ready = true; });
+  e.run();
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+}
+
+TEST(Vm, InjectedStragglerInflatesBootTime) {
+  sim::Engine e;
+  VirtualMachine vm(e, service_profile(), spec2(), sim::Rng(12), 1e9, 1e9);
+  sim::FaultConfig fc;
+  fc.vm_straggler_p = 1.0;
+  fc.vm_straggler_factor = 3.0;
+  sim::FaultInjector faults(fc, sim::Rng(5));
+  vm.set_fault_injector(&faults);
+
+  double ready_at = -1.0;
+  vm.boot([&] { ready_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(ready_at, 30.0);  // 10 s boot stretched 3x
+  EXPECT_EQ(faults.counters().vm_stragglers, 1u);
+  EXPECT_EQ(vm.boot_failures(), 0u);
+}
+
+TEST(Vm, DrainDuringFaultyBootSupersedesFailureCallback) {
+  sim::Engine e;
+  VirtualMachine vm(e, service_profile(), spec2(), sim::Rng(13), 1e9, 1e9);
+  sim::FaultConfig fc;
+  fc.vm_boot_fail_first_n = 10;
+  sim::FaultInjector faults(fc, sim::Rng(6));
+  vm.set_fault_injector(&faults);
+
+  bool failed = false;
+  vm.boot([] {}, [&] { failed = true; });
+  e.run_until(5.0);
+  vm.drain_and_stop();  // abort the doomed boot before it reports failure
+  EXPECT_EQ(vm.state(), VmState::kStopped);
+  e.run();
+  EXPECT_FALSE(failed);  // superseded boot event stayed inert
+  EXPECT_EQ(vm.boot_failures(), 0u);
 }
 
 }  // namespace

@@ -144,6 +144,37 @@ TEST(Determinism, ObservabilityDoesNotPerturbTheSimulation) {
   EXPECT_EQ(observer.tracer().open_spans(), 0u);
 }
 
+TEST(Determinism, FaultInjectedRunsAreSeedStable) {
+  // Fault injection draws from its own forked rng streams, so a faulty run
+  // must be exactly as reproducible as a clean one: same seed + same fault
+  // config => identical event trace, fault tallies and abort counts.
+  const auto& s = setup();
+  auto opt = options(7);
+  opt.faults.container_boot_failure_p = 0.15;
+  opt.faults.container_straggler_p = 0.10;
+  opt.faults.vm_boot_failure_p = 0.10;
+  opt.faults.meter_drop_p = 0.10;
+  opt.faults.meter_outlier_p = 0.05;
+  const auto a = run_managed(s.foreground, DeploySystem::kAmoeba, s.cluster,
+                             s.calibration, s.artifacts, opt);
+  const auto b = run_managed(s.foreground, DeploySystem::kAmoeba, s.cluster,
+                             s.calibration, s.artifacts, opt);
+  ASSERT_GT(a.queries, 1000u);
+  ASSERT_GT(a.fault_counters.total(), 0u) << "no faults actually injected";
+  EXPECT_EQ(a.trace_hash, b.trace_hash)
+      << "fault-injected event traces diverged under the same seed";
+  EXPECT_EQ(stream_hash(a), stream_hash(b));
+  EXPECT_EQ(a.fault_counters.total(), b.fault_counters.total());
+  EXPECT_EQ(a.switch_aborts, b.switch_aborts);
+  EXPECT_EQ(a.switch_retries, b.switch_retries);
+  // And the faults change behaviour relative to the clean run.
+  const auto clean = run_managed(s.foreground, DeploySystem::kAmoeba,
+                                 s.cluster, s.calibration, s.artifacts,
+                                 options(7));
+  EXPECT_NE(a.trace_hash, clean.trace_hash)
+      << "nonzero fault rates left the event trace untouched";
+}
+
 TEST(Determinism, ControlLoopTraceDivergesUnderDifferentSeed) {
   const auto& s = setup();
   const auto a = run_managed(s.foreground, DeploySystem::kAmoeba, s.cluster,

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "sim/fault_injector.hpp"
+
 namespace amoeba::serverless {
 namespace {
 
@@ -188,6 +192,62 @@ TEST(ContainerPool, MarkBusyRequiresIdle) {
   const auto id = pool.start("f", kContainer, 5.0, [](ContainerId) {});
   ASSERT_TRUE(id.has_value());
   EXPECT_THROW(pool.mark_busy(*id), ContractError);  // still starting
+}
+
+TEST(ContainerPool, InjectedBootFailureDestroysAndNotifies) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  sim::FaultConfig fc;
+  fc.container_boot_fail_first_n = 1;
+  sim::FaultInjector faults(fc, sim::Rng(1));
+  pool.set_fault_injector(&faults);
+
+  bool ready = false;
+  std::optional<ContainerId> failed_id;
+  const auto id = pool.start(
+      "f", kContainer, 1.0, [&](ContainerId) { ready = true; },
+      [&](ContainerId cid) { failed_id = cid; });
+  ASSERT_TRUE(id.has_value());
+  // The doomed boot holds its memory reservation for the full boot window.
+  EXPECT_DOUBLE_EQ(pool.memory_in_use_mb(), kContainer);
+  e.run_until(2.0);
+  EXPECT_FALSE(ready);
+  ASSERT_TRUE(failed_id.has_value());
+  EXPECT_EQ(*failed_id, *id);
+  EXPECT_EQ(pool.counts("f").total(), 0);
+  EXPECT_DOUBLE_EQ(pool.memory_in_use_mb(), 0.0);  // fully released
+  EXPECT_EQ(pool.boot_failures(), 1u);
+}
+
+TEST(ContainerPool, InjectedStragglerInflatesBootTime) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  sim::FaultConfig fc;
+  fc.container_straggler_p = 1.0;
+  fc.container_straggler_factor = 4.0;
+  sim::FaultInjector faults(fc, sim::Rng(2));
+  pool.set_fault_injector(&faults);
+
+  double ready_at = -1.0;
+  (void)pool.start("f", kContainer, 1.0,
+                   [&](ContainerId) { ready_at = e.now(); });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(ready_at, 4.0);  // 1 s boot stretched 4x
+  EXPECT_EQ(pool.boot_failures(), 0u);
+}
+
+TEST(ContainerPool, StartingIdsListsBootingContainers) {
+  sim::Engine e;
+  ContainerPool pool(e, kMem, 60.0);
+  const auto a = pool.start("f", kContainer, 1.0, [](ContainerId) {});
+  const auto b = pool.start("f", kContainer, 2.0, [](ContainerId) {});
+  (void)pool.start("g", kContainer, 2.0, [](ContainerId) {});
+  const auto ids = pool.starting_ids("f");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], *a);  // ascending container ids
+  EXPECT_EQ(ids[1], *b);
+  e.run_until(1.5);  // a is now idle
+  EXPECT_EQ(pool.starting_ids("f").size(), 1u);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "sim/fault_injector.hpp"
+
 namespace amoeba::serverless {
 namespace {
 
@@ -300,6 +302,64 @@ TEST(Platform, ConfigValidation) {
   cfg = small_config();
   cfg.crash_after_completion_p = 1.5;
   EXPECT_THROW(ServerlessPlatform(e, cfg, sim::Rng(18)), ContractError);
+}
+
+TEST(Platform, BootFailureRescuesBoundQuery) {
+  sim::Engine e;
+  ServerlessPlatform sp(e, small_config(), sim::Rng(19));
+  sp.register_function(cpu_fn());
+  sim::FaultConfig fc;
+  fc.container_boot_fail_first_n = 1;  // first cold start fails, retry works
+  sim::FaultInjector faults(fc, sim::Rng(3));
+  sp.set_fault_injector(&faults);
+
+  QueryRecord record;
+  int done = 0;
+  sp.submit("fn", [&](const QueryRecord& r) {
+    record = r;
+    ++done;
+  });
+  e.run_until(10.0);
+  // The query bound to the failed container was re-queued, pumped into a
+  // fresh cold container, and still completed — with two boot windows paid.
+  EXPECT_EQ(done, 1);
+  EXPECT_TRUE(record.cold);
+  EXPECT_EQ(sp.stats("fn").boot_failures, 1u);
+  EXPECT_EQ(sp.stats("fn").completed, 1u);
+  EXPECT_GT(record.latency(), 2.0);  // two 1 s boots plus execution
+}
+
+TEST(Platform, ReleasePrewarmedDestroysIdleAndUnboundStarting) {
+  sim::Engine e;
+  ServerlessPlatform sp(e, small_config(), sim::Rng(20));
+  sp.register_function(cpu_fn());
+  sp.prewarm("fn", 3);
+  e.run_until(2.0);  // all three idle
+  sp.prewarm("fn", 5);  // two more, still starting
+  EXPECT_EQ(sp.counts("fn").idle, 3);
+  EXPECT_EQ(sp.counts("fn").starting, 2);
+  const int released = sp.release_prewarmed("fn");
+  EXPECT_EQ(released, 5);
+  EXPECT_EQ(sp.counts("fn").total(), 0);
+  EXPECT_DOUBLE_EQ(sp.pool().memory_in_use_mb(), 0.0);
+  e.run();  // pending boot events must be inert
+  EXPECT_EQ(sp.counts("fn").total(), 0);
+}
+
+TEST(Platform, ReleasePrewarmedSparesContainersBoundToQueries) {
+  sim::Engine e;
+  ServerlessPlatform sp(e, small_config(), sim::Rng(21));
+  sp.register_function(cpu_fn());
+  int done = 0;
+  // This query arrives on a cold pool: it binds to the container that cold
+  // starts for it (OpenWhisk semantics).
+  sp.submit("fn", [&](const QueryRecord&) { ++done; });
+  e.run_until(0.5);  // mid-boot
+  EXPECT_EQ(sp.counts("fn").starting, 1);
+  const int released = sp.release_prewarmed("fn");
+  EXPECT_EQ(released, 0);  // bound container spared
+  e.run_until(10.0);
+  EXPECT_EQ(done, 1);  // the query still completes
 }
 
 }  // namespace

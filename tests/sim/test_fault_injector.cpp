@@ -1,0 +1,137 @@
+// FaultInjector: deterministic draws, per-class isolation, config contracts.
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace amoeba::sim {
+namespace {
+
+TEST(FaultInjector, ZeroConfigInjectsNothing) {
+  FaultInjector fi(FaultConfig{}, Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    const auto c = fi.next_container_boot();
+    EXPECT_FALSE(c.fail);
+    EXPECT_DOUBLE_EQ(c.delay_multiplier, 1.0);
+    const auto v = fi.next_vm_boot();
+    EXPECT_FALSE(v.fail);
+    EXPECT_DOUBLE_EQ(v.delay_multiplier, 1.0);
+    EXPECT_FALSE(fi.next_meter_drop());
+    EXPECT_DOUBLE_EQ(fi.next_meter_multiplier(), 1.0);
+  }
+  EXPECT_EQ(fi.counters().total(), 0u);
+  EXPECT_FALSE(FaultConfig{}.any());
+}
+
+TEST(FaultInjector, SameSeedSameFaultSchedule) {
+  FaultConfig cfg;
+  cfg.container_boot_failure_p = 0.3;
+  cfg.container_straggler_p = 0.2;
+  cfg.vm_boot_failure_p = 0.25;
+  cfg.meter_drop_p = 0.15;
+  cfg.meter_outlier_p = 0.1;
+  FaultInjector a(cfg, Rng(42));
+  FaultInjector b(cfg, Rng(42));
+  for (int i = 0; i < 500; ++i) {
+    const auto ca = a.next_container_boot();
+    const auto cb = b.next_container_boot();
+    EXPECT_EQ(ca.fail, cb.fail);
+    EXPECT_DOUBLE_EQ(ca.delay_multiplier, cb.delay_multiplier);
+    EXPECT_EQ(a.next_vm_boot().fail, b.next_vm_boot().fail);
+    EXPECT_EQ(a.next_meter_drop(), b.next_meter_drop());
+    EXPECT_DOUBLE_EQ(a.next_meter_multiplier(), b.next_meter_multiplier());
+  }
+  EXPECT_EQ(a.counters().total(), b.counters().total());
+  EXPECT_GT(a.counters().total(), 0u);
+}
+
+TEST(FaultInjector, ClassStreamsAreIndependent) {
+  // Interleaving meter draws between container draws must not change the
+  // container fault schedule (each class has its own forked stream).
+  FaultConfig cfg;
+  cfg.container_boot_failure_p = 0.3;
+  cfg.meter_drop_p = 0.5;
+  FaultInjector pure(cfg, Rng(9));
+  FaultInjector mixed(cfg, Rng(9));
+  std::vector<bool> pure_fails;
+  std::vector<bool> mixed_fails;
+  for (int i = 0; i < 200; ++i) {
+    pure_fails.push_back(pure.next_container_boot().fail);
+    (void)mixed.next_meter_drop();  // extra draws on the meter stream
+    mixed_fails.push_back(mixed.next_container_boot().fail);
+  }
+  EXPECT_EQ(pure_fails, mixed_fails);
+}
+
+TEST(FaultInjector, FailureRateRoughlyMatchesProbability) {
+  FaultConfig cfg;
+  cfg.container_boot_failure_p = 0.25;
+  FaultInjector fi(cfg, Rng(1234));
+  const int n = 4000;
+  int fails = 0;
+  for (int i = 0; i < n; ++i) {
+    if (fi.next_container_boot().fail) ++fails;
+  }
+  const double rate = static_cast<double>(fails) / n;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+  EXPECT_EQ(fi.counters().container_boot_failures,
+            static_cast<std::uint64_t>(fails));
+}
+
+TEST(FaultInjector, FailFirstNOverridesProbability) {
+  FaultConfig cfg;
+  cfg.vm_boot_fail_first_n = 3;
+  EXPECT_TRUE(cfg.any());
+  FaultInjector fi(cfg, Rng(5));
+  EXPECT_TRUE(fi.next_vm_boot().fail);
+  EXPECT_TRUE(fi.next_vm_boot().fail);
+  EXPECT_TRUE(fi.next_vm_boot().fail);
+  EXPECT_FALSE(fi.next_vm_boot().fail);  // p = 0 after the override runs out
+  EXPECT_EQ(fi.counters().vm_boot_failures, 3u);
+}
+
+TEST(FaultInjector, StragglerInflatesDelay) {
+  FaultConfig cfg;
+  cfg.container_straggler_p = 1.0;
+  cfg.container_straggler_factor = 4.0;
+  FaultInjector fi(cfg, Rng(2));
+  const auto fault = fi.next_container_boot();
+  EXPECT_FALSE(fault.fail);
+  EXPECT_DOUBLE_EQ(fault.delay_multiplier, 4.0);
+  EXPECT_EQ(fi.counters().container_stragglers, 1u);
+}
+
+TEST(FaultInjector, MeterOutlierMultiplier) {
+  FaultConfig cfg;
+  cfg.meter_outlier_p = 1.0;
+  cfg.meter_outlier_factor = 8.0;
+  FaultInjector fi(cfg, Rng(3));
+  EXPECT_DOUBLE_EQ(fi.next_meter_multiplier(), 8.0);
+  EXPECT_EQ(fi.counters().meter_outliers, 1u);
+}
+
+TEST(FaultInjector, ValidateRejectsBadConfig) {
+  FaultConfig bad_p;
+  bad_p.container_boot_failure_p = 1.5;
+  EXPECT_THROW(bad_p.validate(), ContractError);
+
+  FaultConfig neg_p;
+  neg_p.meter_drop_p = -0.1;
+  EXPECT_THROW(neg_p.validate(), ContractError);
+
+  FaultConfig bad_factor;
+  bad_factor.vm_straggler_factor = 0.5;  // < 1 would shrink the boot
+  EXPECT_THROW(bad_factor.validate(), ContractError);
+
+  FaultConfig bad_n;
+  bad_n.container_boot_fail_first_n = -1;
+  EXPECT_THROW(bad_n.validate(), ContractError);
+
+  EXPECT_THROW(FaultInjector(bad_p, Rng(1)), ContractError);
+}
+
+}  // namespace
+}  // namespace amoeba::sim
