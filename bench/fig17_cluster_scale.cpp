@@ -1,0 +1,227 @@
+// Fig. 17 (extension): cluster-scale managed multi-tenancy.
+//
+// The paper's §VII-A testbed hosts many microservices on one serverless
+// node; its published figures, however, only measure one managed
+// foreground service at a time. This bench sweeps N ∈ {2, 4, 8, 12}
+// concurrently *managed* tenants — each with its own Amoeba control loop —
+// on one shared node (exp::run_cluster), and gates three properties:
+//
+//   1. Determinism: every N runs twice under one seed; the executed event
+//      traces must hash identically.
+//   2. QoS under coupling: each tenant's violation fraction stays within
+//      2x its single-service run_managed baseline (floor 2% — a baseline
+//      of exactly zero would make any violation an automatic failure).
+//   3. Economy: total rented/consumed core-hours stay strictly below the
+//      all-Nameko baseline (every tenant renting its just-enough VM for
+//      the whole day).
+//
+// Nonzero exit when any gate fails.
+//
+// Flags: --jobs N (parallel sweep), --smoke (CI: N ∈ {2, 4}, short day),
+//        --json-out PATH (machine-readable summary),
+//        plus the shared observability export flags.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/cluster.hpp"
+
+namespace {
+
+bool parse_smoke_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+std::string parse_json_out(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amoeba;
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
+  const bool smoke = parse_smoke_flag(argc, argv);
+  const std::string json_out = parse_json_out(argc, argv);
+  bench::BenchObservability observability(argc, argv);
+  const auto cluster = bench::bench_cluster();
+  const auto prof = bench::bench_profiling();
+  exp::print_banner(std::cout, "Fig. 17",
+                    "cluster-scale managed multi-tenancy");
+
+  const auto cal = bench::cached_calibration(cluster, prof);
+
+  // Artifacts are profiled once per *base* benchmark at its full peak; the
+  // scaled tenant clones reuse them (latency surfaces are functions of
+  // absolute pressure and load, so a clone at half peak simply stays on
+  // the lower part of the same surface).
+  const double peak_fraction = 0.5;
+  const auto suite = workload::functionbench_suite();
+  std::vector<core::ServiceArtifacts> base_artifacts;
+  base_artifacts.reserve(suite.size());
+  for (const auto& base : suite) {
+    base_artifacts.push_back(
+        bench::cached_artifacts(base, cluster, cal, prof));
+  }
+
+  const double period_s = smoke ? 600.0 : 1800.0;
+  const std::vector<int> sweep_n = smoke ? std::vector<int>{2, 4}
+                                         : std::vector<int>{2, 4, 8, 12};
+  const int max_n = sweep_n.back();
+
+  // Single-service baselines: each distinct tenant profile (base benchmark
+  // at the scaled peak) managed alone by run_managed, default scenario.
+  exp::SweepExecutor exec(jobs);
+  const auto tenant_profiles = exp::cluster_tenants(max_n, peak_fraction);
+  const std::size_t n_bases = std::min(suite.size(), tenant_profiles.size());
+  std::vector<std::size_t> base_idx(n_bases);
+  for (std::size_t i = 0; i < n_bases; ++i) base_idx[i] = i;
+  const auto baselines = exec.map<exp::ManagedRunResult>(
+      base_idx, [&](std::size_t i) {
+        exp::ManagedRunOptions opt;
+        opt.period_s = period_s;
+        opt.duration_days = 1.0;
+        opt.warmup_s = 60.0;
+        opt.seed = cluster.seed;
+        return exp::run_managed(tenant_profiles[i],
+                                exp::DeploySystem::kAmoeba, cluster, cal,
+                                base_artifacts[i], opt);
+      });
+
+  struct NResult {
+    exp::ClusterRunResult run;
+    bool deterministic = false;
+  };
+  const auto cluster_runs = exec.map<NResult>(sweep_n, [&](int n) {
+    const auto profiles = exp::cluster_tenants(n, peak_fraction);
+    std::vector<exp::ClusterServiceSpec> specs;
+    specs.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      specs.push_back(exp::ClusterServiceSpec{
+          profiles[i], base_artifacts[i % base_artifacts.size()],
+          static_cast<double>(i) / static_cast<double>(n)});
+    }
+    exp::ClusterRunOptions opt;
+    opt.period_s = period_s;
+    opt.duration_days = 1.0;
+    opt.warmup_s = 60.0;
+    opt.seed = cluster.seed;
+    auto a = exp::run_cluster(specs, cluster, cal, opt);
+    const auto b = exp::run_cluster(specs, cluster, cal, opt);
+    const bool same = a.trace_hash == b.trace_hash;
+    return NResult{std::move(a), same};
+  });
+
+  bench::BenchJson json;
+  json.add("peak_fraction", peak_fraction);
+  json.add("period_s", period_s);
+  bool ok = true;
+
+  for (std::size_t ni = 0; ni < sweep_n.size(); ++ni) {
+    const int n = sweep_n[ni];
+    const auto& r = cluster_runs[ni].run;
+    std::cout << "\n=== N = " << n << " managed services ===\n";
+    exp::cluster_table(r).print(std::cout);
+
+    // Gate 1: the same-seed double run hashed identically.
+    if (!cluster_runs[ni].deterministic) {
+      std::cerr << "FAIL[N=" << n
+                << "]: same-seed cluster runs diverged\n";
+      ok = false;
+    }
+
+    // Gate 2: per-tenant QoS within 2x its solo baseline (2% floor).
+    for (std::size_t i = 0; i < r.services.size(); ++i) {
+      const auto& svc = r.services[i];
+      const auto& base = baselines[i % n_bases];
+      const double limit =
+          std::max(2.0 * base.violation_fraction(), 0.02);
+      if (svc.violation_fraction() > limit) {
+        std::cerr << "FAIL[N=" << n << "]: " << svc.name << " violations "
+                  << exp::fmt_percent(svc.violation_fraction())
+                  << " exceed limit " << exp::fmt_percent(limit)
+                  << " (solo baseline "
+                  << exp::fmt_percent(base.violation_fraction()) << ")\n";
+        ok = false;
+      }
+    }
+
+    // Gate 3: cheaper than all-Nameko (every tenant renting its VM all day).
+    double nameko_core_hours = 0.0;
+    const auto profiles = exp::cluster_tenants(n, peak_fraction);
+    for (const auto& p : profiles) {
+      nameko_core_hours +=
+          exp::just_enough_vm(p, cluster).cores * r.duration_s / 3600.0;
+    }
+    const double core_hours = r.total_core_hours();
+    std::cout << "total: " << exp::fmt_fixed(core_hours, 2)
+              << " core-h (all-Nameko "
+              << exp::fmt_fixed(nameko_core_hours, 2) << " core-h), "
+              << exp::fmt_fixed(r.total_memory_gb_hours(), 2)
+              << " GB-h, peak pool " << r.peak_pool_containers
+              << " containers, " << r.prewarm_denied_total
+              << " prewarms denied\n";
+    if (core_hours >= nameko_core_hours) {
+      std::cerr << "FAIL[N=" << n
+                << "]: cluster core-hours not below the all-Nameko"
+                   " baseline\n";
+      ok = false;
+    }
+
+    const std::string prefix = "n" + std::to_string(n) + "_";
+    json.add(prefix + "core_hours", core_hours);
+    json.add(prefix + "nameko_core_hours", nameko_core_hours);
+    json.add(prefix + "memory_gb_hours", r.total_memory_gb_hours());
+    json.add(prefix + "peak_pool_containers",
+             static_cast<double>(r.peak_pool_containers));
+    json.add(prefix + "prewarm_denied",
+             static_cast<double>(r.prewarm_denied_total));
+  }
+
+  // Gate 1 (bis): a third run of the largest N with observability attached
+  // must execute the same trace as the plain ones — instrumentation is
+  // pure bookkeeping even at cluster scale.
+  {
+    const auto profiles = exp::cluster_tenants(max_n, peak_fraction);
+    std::vector<exp::ClusterServiceSpec> specs;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      specs.push_back(exp::ClusterServiceSpec{
+          profiles[i], base_artifacts[i % base_artifacts.size()],
+          static_cast<double>(i) / static_cast<double>(max_n)});
+    }
+    exp::ClusterRunOptions opt;
+    opt.period_s = period_s;
+    opt.duration_days = 1.0;
+    opt.warmup_s = 60.0;
+    opt.seed = cluster.seed;
+    opt.observer = observability.begin_run();
+    const auto repeat = exp::run_cluster(specs, cluster, cal, opt);
+    observability.end_run("fig17_n" + std::to_string(max_n));
+    const auto& first = cluster_runs.back().run;
+    const bool same = repeat.trace_hash == first.trace_hash;
+    std::cout << "\ndeterminism (N=" << max_n << "): same-seed rerun "
+              << (same ? "matches" : "MISMATCHES") << " ("
+              << std::hex << first.trace_hash << std::dec << ")\n";
+    json.add("deterministic", same);
+    if (!same) {
+      std::cerr << "FAIL: same-seed cluster runs diverged\n";
+      ok = false;
+    }
+  }
+
+  std::cout << "\nexpected: violations track the solo baselines, total\n"
+               "core-hours undercut all-Nameko, and same-seed runs hash\n"
+               "identically at every N.\n";
+  if (!json_out.empty()) json.write(json_out);
+  return ok ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "iaas/platform.hpp"
 #include "serverless/platform.hpp"
@@ -46,5 +47,16 @@ class ResourceAccountant {
   serverless::ServerlessPlatform& serverless_;
   iaas::IaasPlatform& iaas_;
 };
+
+/// Shared-pool admission arbitration: split a node-wide container budget
+/// across services asking for `asks[i]` containers each (their per-service
+/// n_max if they ran alone). If the asks fit, everyone gets what they asked
+/// for. Otherwise every service is guaranteed 1 container (no starvation)
+/// and the remainder is divided proportionally to the excess ask
+/// (ask_i - 1) by the largest-remainder method, ties broken by lower index
+/// — fully deterministic. Grants never exceed asks; with budget >=
+/// #services the grants sum to min(budget, sum(asks)).
+std::vector<int> split_container_budget(const std::vector<int>& asks,
+                                        int budget);
 
 }  // namespace amoeba::core

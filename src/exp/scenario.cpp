@@ -112,9 +112,8 @@ std::vector<workload::FunctionProfile> background_suite(
           workload::as_background(workload::make_cloud_stor(), peak_fraction)};
 }
 
-namespace {
-
-core::AmoebaConfig amoeba_defaults(DeploySystem system, double timeline_s) {
+core::AmoebaConfig default_amoeba_config(DeploySystem system,
+                                         double timeline_period_s) {
   core::AmoebaConfig cfg;
   cfg.controller.qos_percentile = 0.95;
   // The margins absorb what the discriminant cannot see: the load keeps
@@ -129,13 +128,11 @@ core::AmoebaConfig amoeba_defaults(DeploySystem system, double timeline_s) {
   cfg.estimator.min_samples = 24;
   // Cover 2 hysteresis ticks + the 30 s VM boot.
   cfg.load_anticipation_s = 40.0;
-  cfg.timeline_period_s = timeline_s;
+  cfg.timeline_period_s = timeline_period_s;
   if (system == DeploySystem::kAmoebaNoM) cfg.estimator.enable_pca = false;
   if (system == DeploySystem::kAmoebaNoP) cfg.engine.enable_prewarm = false;
   return cfg;
 }
-
-}  // namespace
 
 ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
                              DeploySystem system, const ClusterConfig& cluster,
@@ -233,10 +230,10 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
       break;
     }
     default: {
-      core::AmoebaConfig cfg = opt.amoeba.has_value()
-                                   ? *opt.amoeba
-                                   : amoeba_defaults(system,
-                                                     opt.timeline_period_s);
+      core::AmoebaConfig cfg =
+          opt.amoeba.has_value()
+              ? *opt.amoeba
+              : default_amoeba_config(system, opt.timeline_period_s);
       if (!opt.amoeba.has_value()) {
         cfg.timeline_period_s = opt.timeline_period_s;
       }

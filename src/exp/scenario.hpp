@@ -82,6 +82,13 @@ enum class DeploySystem {
 
 [[nodiscard]] const char* to_string(DeploySystem s) noexcept;
 
+/// The AmoebaConfig run_managed uses for the managed systems (margins,
+/// hysteresis, prewarm headroom, anticipation window). Exposed so cluster
+/// runs and ablations start from the same tuning as the single-service
+/// experiments.
+[[nodiscard]] core::AmoebaConfig default_amoeba_config(
+    DeploySystem system, double timeline_period_s);
+
 struct ManagedRunOptions {
   double period_s = 1200.0;      ///< compressed "day"
   double duration_days = 1.0;

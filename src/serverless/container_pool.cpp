@@ -54,6 +54,9 @@ std::optional<ContainerId> ContainerPool::start(
       function, stats::IntegratedGauge(engine_.now()));
   it->second.add(engine_.now(), memory_mb);
   ++cold_starts_;
+  peak_total_containers_ =
+      std::max(peak_total_containers_, static_cast<int>(containers_.size()));
+  peak_memory_in_use_mb_ = std::max(peak_memory_in_use_mb_, memory_.in_use());
 
   engine_.schedule_in(boot_s, [this, id, boot_fails, cb = std::move(on_ready),
                                fb = std::move(on_failed)] {
@@ -234,6 +237,11 @@ double ContainerPool::memory_mb_seconds(const std::string& function,
   auto it = mem_gauge_by_fn_.find(function);
   if (it == mem_gauge_by_fn_.end()) return 0.0;
   return it->second.integral(now);
+}
+
+double ContainerPool::memory_in_use_mb(const std::string& function) const {
+  auto it = mem_gauge_by_fn_.find(function);
+  return it == mem_gauge_by_fn_.end() ? 0.0 : it->second.value();
 }
 
 }  // namespace amoeba::serverless

@@ -102,6 +102,19 @@ class ContainerPool {
   /// Per-function container-memory integral (MB·s) through `now`.
   double memory_mb_seconds(const std::string& function, sim::Time now);
 
+  /// Memory currently reserved by `function`'s containers (MB).
+  [[nodiscard]] double memory_in_use_mb(const std::string& function) const;
+
+  /// High-water marks since construction: most containers alive at once and
+  /// most memory reserved at once. Cluster invariant tests assert the count
+  /// never exceeded the node-wide container budget.
+  [[nodiscard]] int peak_total_containers() const noexcept {
+    return peak_total_containers_;
+  }
+  [[nodiscard]] double peak_memory_in_use_mb() const noexcept {
+    return peak_memory_in_use_mb_;
+  }
+
   [[nodiscard]] std::uint64_t cold_starts() const noexcept {
     return cold_starts_;
   }
@@ -124,6 +137,8 @@ class ContainerPool {
   std::uint64_t cold_starts_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t boot_failures_ = 0;
+  int peak_total_containers_ = 0;
+  double peak_memory_in_use_mb_ = 0.0;
   sim::FaultInjector* faults_ = nullptr;
 };
 

@@ -128,6 +128,13 @@ int ServerlessPlatform::prewarm(const std::string& function, int count) {
     trace_container(function, *cid, /*begin=*/true);
     ++started;
   }
+  // Anything still missing was denied admission (pool memory or n_max):
+  // count each denied container so cluster runs can report how often the
+  // shared-pool arbitration actually bit.
+  const int missing = count - pool_.counts(function).total();
+  if (missing > 0) {
+    st.stats.prewarm_denied += static_cast<std::uint64_t>(missing);
+  }
   return started;
 }
 
@@ -243,10 +250,13 @@ void ServerlessPlatform::run_invocation(FunctionState& st, ContainerId cid,
       return;
     }
     const double t0 = engine_.now();
-    net_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
-      rec->breakdown.post_s = engine_.now() - t0;
-      next();
-    });
+    net_.open(
+        bytes, 0.0,
+        [this, rec, t0, next = std::move(next)]() mutable {
+          rec->breakdown.post_s = engine_.now() - t0;
+          next();
+        },
+        rec->function);
   };
 
   auto exec_net_phase = [this, rec, bytes = p.exec.net_bytes * net_scale,
@@ -256,10 +266,13 @@ void ServerlessPlatform::run_invocation(FunctionState& st, ContainerId cid,
       return;
     }
     const double t0 = engine_.now();
-    net_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
-      rec->breakdown.exec_s += engine_.now() - t0;
-      next();
-    });
+    net_.open(
+        bytes, 0.0,
+        [this, rec, t0, next = std::move(next)]() mutable {
+          rec->breakdown.exec_s += engine_.now() - t0;
+          next();
+        },
+        rec->function);
   };
 
   auto exec_io_phase = [this, rec, bytes = p.exec.io_bytes * io_scale,
@@ -269,10 +282,13 @@ void ServerlessPlatform::run_invocation(FunctionState& st, ContainerId cid,
       return;
     }
     const double t0 = engine_.now();
-    disk_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
-      rec->breakdown.exec_s += engine_.now() - t0;
-      next();
-    });
+    disk_.open(
+        bytes, 0.0,
+        [this, rec, t0, next = std::move(next)]() mutable {
+          rec->breakdown.exec_s += engine_.now() - t0;
+          next();
+        },
+        rec->function);
   };
 
   auto exec_cpu_phase = [this, rec, cpu_work, cap = cfg_.container_core_cap,
@@ -282,10 +298,13 @@ void ServerlessPlatform::run_invocation(FunctionState& st, ContainerId cid,
       return;
     }
     const double t0 = engine_.now();
-    cpu_.open(cpu_work, cap, [this, rec, t0, next = std::move(next)]() mutable {
-      rec->breakdown.exec_s += engine_.now() - t0;
-      next();
-    });
+    cpu_.open(
+        cpu_work, cap,
+        [this, rec, t0, next = std::move(next)]() mutable {
+          rec->breakdown.exec_s += engine_.now() - t0;
+          next();
+        },
+        rec->function);
   };
 
   auto code_load_phase = [this, rec, bytes = p.code_bytes * io_scale,
@@ -295,10 +314,13 @@ void ServerlessPlatform::run_invocation(FunctionState& st, ContainerId cid,
       return;
     }
     const double t0 = engine_.now();
-    disk_.open(bytes, 0.0, [this, rec, t0, next = std::move(next)]() mutable {
-      rec->breakdown.code_load_s = engine_.now() - t0;
-      next();
-    });
+    disk_.open(
+        bytes, 0.0,
+        [this, rec, t0, next = std::move(next)]() mutable {
+          rec->breakdown.code_load_s = engine_.now() - t0;
+          next();
+        },
+        rec->function);
   };
 
   // Entry: fixed platform processing overhead (auth + scheduling).
@@ -374,6 +396,18 @@ double ServerlessPlatform::cpu_core_seconds(
 double ServerlessPlatform::memory_mb_seconds(const std::string& function,
                                              sim::Time now) {
   return pool_.memory_mb_seconds(function, now);
+}
+
+std::array<double, 3> ServerlessPlatform::true_pressure_of(
+    const std::string& function) const {
+  return {cpu_.pressure_of(function), disk_.pressure_of(function),
+          net_.pressure_of(function)};
+}
+
+std::array<double, 3> ServerlessPlatform::true_external_pressure(
+    const std::string& function) const {
+  return {cpu_.external_pressure(function), disk_.external_pressure(function),
+          net_.external_pressure(function)};
 }
 
 }  // namespace amoeba::serverless

@@ -18,6 +18,7 @@
 // being scripted.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
@@ -68,6 +69,10 @@ struct FunctionStats {
   std::uint64_t completed = 0;
   std::uint64_t cold_hits = 0;
   std::uint64_t boot_failures = 0;  ///< injected cold-start failures
+  /// Containers a prewarm() call asked for but could not start (pool memory
+  /// exhausted or the per-function n_max reached) — the admission-arbitration
+  /// "deferred" signal a cluster run surfaces per service.
+  std::uint64_t prewarm_denied = 0;
   double cpu_core_seconds = 0.0;    ///< actual compute consumed
 };
 
@@ -148,6 +153,18 @@ class ServerlessPlatform {
   [[nodiscard]] double true_net_utilization() const {
     return net_.utilization();
   }
+  /// Ground-truth per-function demand attribution over {cpu, disk, net},
+  /// each as a fraction of that resource's capacity. Fed by the stream tags
+  /// every invocation phase carries, so it reflects what is *live* right
+  /// now. Tests/validation only — the controller estimates pressure through
+  /// meters, exactly as on real hardware.
+  [[nodiscard]] std::array<double, 3> true_pressure_of(
+      const std::string& function) const;
+  /// Pressure on each resource caused by everything except `function` —
+  /// the live aggregate load of co-located tenants.
+  [[nodiscard]] std::array<double, 3> true_external_pressure(
+      const std::string& function) const;
+
   /// Ground-truth busy-capacity integrals (work served so far); their time
   /// derivative over a window is the resource's average busy fraction.
   double true_cpu_busy_integral(sim::Time now) const {

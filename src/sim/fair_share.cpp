@@ -38,7 +38,8 @@ FairShareResource::~FairShareResource() {
 }
 
 StreamId FairShareResource::open(double work, double cap,
-                                 CompletionFn on_complete) {
+                                 CompletionFn on_complete,
+                                 std::string_view tag) {
   AMOEBA_EXPECTS(work >= 0.0);
   AMOEBA_EXPECTS(on_complete != nullptr);
   bank_progress();
@@ -46,10 +47,22 @@ StreamId FairShareResource::open(double work, double cap,
   Stream s;
   s.remaining = work;
   s.cap = (cap <= 0.0) ? capacity_ : std::min(cap, capacity_);
+  s.tag = std::string(tag);
   s.on_complete = std::move(on_complete);
+  if (!s.tag.empty()) demand_by_tag_[s.tag] += s.cap;
   streams_.emplace(id, std::move(s));
   reallocate();
   return id;
+}
+
+void FairShareResource::release_tag_demand(const Stream& s) {
+  if (s.tag.empty()) return;
+  auto it = demand_by_tag_.find(s.tag);
+  if (it == demand_by_tag_.end()) return;
+  it->second -= s.cap;
+  // Drop entries that drained to (numerically) zero so a departed tenant
+  // reads as exactly 0 demand, not as accumulated float dust.
+  if (it->second <= s.cap * 1e-12) demand_by_tag_.erase(it);
 }
 
 double FairShareResource::close(StreamId id) {
@@ -57,6 +70,7 @@ double FairShareResource::close(StreamId id) {
   if (it == streams_.end()) return 0.0;
   bank_progress();
   const double remaining = it->second.remaining;
+  release_tag_demand(it->second);
   streams_.erase(it);
   reallocate();
   return remaining;
@@ -66,6 +80,25 @@ double FairShareResource::pressure() const noexcept {
   double demand = 0.0;
   for (const auto& [id, s] : streams_) demand += s.cap;
   return demand / capacity_;
+}
+
+double FairShareResource::demand_of(std::string_view tag) const noexcept {
+  auto it = demand_by_tag_.find(tag);
+  return it == demand_by_tag_.end() ? 0.0 : it->second;
+}
+
+double FairShareResource::pressure_of(std::string_view tag) const noexcept {
+  return demand_of(tag) / capacity_;
+}
+
+double FairShareResource::external_pressure(
+    std::string_view tag) const noexcept {
+  return std::max(0.0, pressure() - pressure_of(tag));
+}
+
+std::map<std::string, double, std::less<>> FairShareResource::demand_by_tag()
+    const {
+  return demand_by_tag_;
 }
 
 double FairShareResource::rate_of(StreamId id) const noexcept {
@@ -160,6 +193,7 @@ void FairShareResource::on_completion_event() {
     const Stream& s = it->second;
     if (s.remaining <= kWorkEpsilon ||
         (s.rate > 0.0 && s.remaining <= s.rate * kTimeEpsilon)) {
+      release_tag_demand(s);
       done.emplace_back(it->first, std::move(it->second.on_complete));
       it = streams_.erase(it);
     } else {

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "sim/engine.hpp"
 
@@ -50,7 +51,15 @@ class FairShareResource {
   /// callback fired (via the engine, at the exact completion instant) when
   /// the work drains. `work` == 0 completes at the current time but still
   /// via an engine event (never re-entrantly).
-  StreamId open(double work, double cap, CompletionFn on_complete);
+  ///
+  /// `tag` optionally attributes the stream's demand to a client (the
+  /// serverless platform tags streams with the owning function's name).
+  /// Tagged demand is queryable via demand_of()/pressure_of(): this is the
+  /// ground-truth per-tenant demand breakdown a multi-service cluster run
+  /// needs to attribute cross-service pressure. Untagged streams cost
+  /// nothing extra.
+  StreamId open(double work, double cap, CompletionFn on_complete,
+                std::string_view tag = {});
 
   /// Abort a stream before completion. Returns the remaining work (0 if the
   /// stream was unknown or already complete).
@@ -64,6 +73,20 @@ class FairShareResource {
   /// Demand pressure: total capped demand rate divided by capacity.
   /// 1.0 means the resource is exactly saturated; >1 oversubscribed.
   [[nodiscard]] double pressure() const noexcept;
+
+  /// Capped demand rate currently attributed to `tag` (0 for unknown tags).
+  [[nodiscard]] double demand_of(std::string_view tag) const noexcept;
+
+  /// `demand_of(tag) / capacity`: the tag's own share of pressure().
+  [[nodiscard]] double pressure_of(std::string_view tag) const noexcept;
+
+  /// Pressure from every *other* tenant: pressure() - pressure_of(tag).
+  /// Untagged streams count as external to every tag.
+  [[nodiscard]] double external_pressure(std::string_view tag) const noexcept;
+
+  /// Snapshot of the per-tag demand breakdown (tags with live streams).
+  [[nodiscard]] std::map<std::string, double, std::less<>> demand_by_tag()
+      const;
 
   /// Instantaneous allocated rate of a stream (0 if unknown).
   [[nodiscard]] double rate_of(StreamId id) const noexcept;
@@ -84,8 +107,13 @@ class FairShareResource {
     double remaining = 0.0;
     double cap = 0.0;   // effective cap (already clamped to capacity)
     double rate = 0.0;  // current allocated rate
+    std::string tag;    // demand attribution key ("" = untagged)
     CompletionFn on_complete;
   };
+
+  /// Subtract a closing/completing stream's cap from its tag's demand,
+  /// dropping the entry when the tag's last stream leaves.
+  void release_tag_demand(const Stream& s);
 
   void bank_progress();  // accrue work done since last reallocation
   void reallocate();     // recompute max-min rates + reschedule completion
@@ -96,6 +124,9 @@ class FairShareResource {
   double capacity_;
   double interference_;
   std::map<StreamId, Stream> streams_;  // ordered: deterministic iteration
+  // Sum of effective caps per tag (only non-empty tags). Kept incrementally
+  // so demand_of() is O(log #tags) rather than O(#streams).
+  std::map<std::string, double, std::less<>> demand_by_tag_;
   StreamId next_id_ = 1;
   Time last_update_ = 0.0;
   EventId completion_event_ = kNoEvent;

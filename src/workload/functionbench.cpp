@@ -1,5 +1,7 @@
 #include "workload/functionbench.hpp"
 
+#include <string>
+
 namespace amoeba::workload {
 
 namespace {
@@ -99,6 +101,14 @@ FunctionProfile as_background(FunctionProfile p, double fraction) {
   AMOEBA_EXPECTS(fraction > 0.0 && fraction <= 1.0);
   p.name += "_bg";
   p.peak_load_qps *= fraction;
+  return p;
+}
+
+FunctionProfile as_tenant(FunctionProfile p, int index, double peak_fraction) {
+  AMOEBA_EXPECTS(index >= 0);
+  AMOEBA_EXPECTS(peak_fraction > 0.0 && peak_fraction <= 1.0);
+  p.name += "#" + std::to_string(index);
+  p.peak_load_qps *= peak_fraction;
   return p;
 }
 

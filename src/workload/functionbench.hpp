@@ -37,6 +37,14 @@ struct NodeRates {
 [[nodiscard]] FunctionProfile as_background(FunctionProfile p,
                                             double fraction);
 
+/// A copy of `p` renamed "<name>#<index>" and scaled to `peak_fraction` of
+/// its peak load: one managed tenant of a multi-service cluster run. The
+/// rename keeps per-function registration, accounting and stream tags
+/// distinct when the same benchmark appears several times on one node;
+/// scaling lets N tenants fit the node that one full-peak service saturates.
+[[nodiscard]] FunctionProfile as_tenant(FunctionProfile p, int index,
+                                        double peak_fraction);
+
 /// A synthetic single-resource stressor used by the profiling harness to
 /// put an adjustable, known pressure on one resource. `kind` selects which
 /// resource the stressor loads.

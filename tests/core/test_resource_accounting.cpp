@@ -92,6 +92,38 @@ TEST(ResourceAccounting, CombinedUsageSumsPlatforms) {
   EXPECT_DOUBLE_EQ(combined.memory_mb_seconds, expected.memory_mb_seconds);
 }
 
+TEST(SplitContainerBudget, ReturnsAsksWhenTheyFit) {
+  EXPECT_EQ(split_container_budget({3, 5, 2}, 10), (std::vector<int>{3, 5, 2}));
+  EXPECT_EQ(split_container_budget({3, 5, 2}, 100),
+            (std::vector<int>{3, 5, 2}));
+  EXPECT_TRUE(split_container_budget({}, 10).empty());
+}
+
+TEST(SplitContainerBudget, OversubscribedSplitIsProportionalAndExact) {
+  // Asks 10+30+60 = 100 into 50: grants must sum to exactly 50, keep the
+  // min-1 guarantee, never exceed an ask, and track proportions.
+  const auto g = split_container_budget({10, 30, 60}, 50);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0] + g[1] + g[2], 50);
+  EXPECT_GE(g[0], 1);
+  EXPECT_LE(g[0], 10);
+  EXPECT_LT(g[0], g[1]);
+  EXPECT_LT(g[1], g[2]);
+}
+
+TEST(SplitContainerBudget, MinOneGuaranteeUnderStarvationBudget) {
+  // Budget == number of services: everyone gets exactly their floor.
+  EXPECT_EQ(split_container_budget({40, 40, 40, 40}, 4),
+            (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(SplitContainerBudget, LargestRemainderTiesBreakByLowerIndex) {
+  // Equal asks, budget not divisible: the spare container goes to the
+  // earlier service, deterministically.
+  const auto g = split_container_budget({5, 5, 5}, 7);
+  EXPECT_EQ(g, (std::vector<int>{3, 2, 2}));
+}
+
 TEST(ResourceAccounting, UnregisteredServiceIsZero) {
   sim::Engine e;
   serverless::ServerlessPlatform sp(e, sp_config(), sim::Rng(7));

@@ -17,11 +17,13 @@
 #include <bit>
 #include <cstdint>
 
+#include "exp/cluster.hpp"
 #include "exp/profiling.hpp"
 #include "exp/scenario.hpp"
 #include "obs/observer.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
+#include "workload/functionbench.hpp"
 
 namespace amoeba::exp {
 namespace {
@@ -173,6 +175,55 @@ TEST(Determinism, FaultInjectedRunsAreSeedStable) {
                                  options(7));
   EXPECT_NE(a.trace_hash, clean.trace_hash)
       << "nonzero fault rates left the event trace untouched";
+}
+
+TEST(Determinism, ClusterRunIsSeedStable) {
+  // Golden-trace regression at cluster scale: an N=4 cluster of managed
+  // tenants (phase-spread clones of the profiled service) must execute
+  // the identical event trace and land the identical per-service latency
+  // table under the same seed, and diverge under a different one. The N
+  // coupled control loops share one engine and two platforms, so any
+  // unordered container or rng-stream collision in the cluster path shows
+  // up here first.
+  const auto& s = setup();
+  std::vector<ClusterServiceSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(ClusterServiceSpec{
+        workload::as_tenant(s.foreground, i, 0.4), s.artifacts,
+        static_cast<double>(i) / 4.0});
+  }
+  ClusterRunOptions opt;
+  opt.period_s = 240.0;
+  opt.duration_days = 1.0;
+  opt.warmup_s = 40.0;
+  opt.seed = 42;
+  const auto a = run_cluster(specs, s.cluster, s.calibration, opt);
+  const auto b = run_cluster(specs, s.cluster, s.calibration, opt);
+
+  EXPECT_EQ(a.trace_hash, b.trace_hash)
+      << "same-seed cluster event traces diverged";
+  ASSERT_EQ(a.services.size(), 4u);
+  ASSERT_EQ(b.services.size(), 4u);
+  for (std::size_t i = 0; i < a.services.size(); ++i) {
+    const auto& sa = a.services[i];
+    const auto& sb = b.services[i];
+    EXPECT_EQ(sa.name, sb.name);
+    ASSERT_GT(sa.queries, 100u) << sa.name;
+    EXPECT_EQ(sa.queries, sb.queries) << sa.name;
+    EXPECT_EQ(hash_double(sa.p95()), hash_double(sb.p95())) << sa.name;
+    EXPECT_EQ(hash_double(sa.violation_fraction()),
+              hash_double(sb.violation_fraction()))
+        << sa.name;
+    EXPECT_EQ(sa.switches.size(), sb.switches.size()) << sa.name;
+  }
+  EXPECT_EQ(hash_double(a.total_core_hours()),
+            hash_double(b.total_core_hours()));
+
+  ClusterRunOptions reseeded = opt;
+  reseeded.seed = 43;
+  const auto c = run_cluster(specs, s.cluster, s.calibration, reseeded);
+  EXPECT_NE(a.trace_hash, c.trace_hash)
+      << "different seeds produced identical cluster traces";
 }
 
 TEST(Determinism, ControlLoopTraceDivergesUnderDifferentSeed) {

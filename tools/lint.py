@@ -43,6 +43,14 @@ STD_RNG = re.compile(
     r"ranlux\w+|knuth_b)\b")
 STD_RNG_ALLOWED = {Path("src/sim/random.hpp"), Path("src/sim/random.cpp")}
 
+# Simulation-layer code must not read wall clocks: all time flows from
+# sim::Engine::now() so that same-seed runs (including N-tenant cluster
+# runs, src/exp/cluster.*) execute identical traces regardless of host
+# speed. src/kernels/ is exempt — it times real native workloads.
+WALL_CLOCK = re.compile(
+    r"std::chrono::(steady_clock|system_clock|high_resolution_clock)\b")
+WALL_CLOCK_EXEMPT_TOPDIR = "kernels"
+
 # Library code (src/) must not write to stdout: output belongs to the
 # binaries (examples/, bench/), and library diagnostics go through a
 # caller-supplied std::ostream&. `std::fprintf(stderr, ...)` stays legal
@@ -113,6 +121,13 @@ def check_file(path: Path, errors: list[str]):
             errors.append(
                 f"{rel}:{lineno}: std random engine outside src/sim/random.* "
                 f"(use amoeba::sim::Rng for seed-determinism)")
+        if (rel.parts[0] == "src" and WALL_CLOCK.search(code)
+                and (len(rel.parts) < 2
+                     or rel.parts[1] != WALL_CLOCK_EXEMPT_TOPDIR)):
+            errors.append(
+                f"{rel}:{lineno}: wall-clock read in simulation code "
+                f"(use sim::Engine::now(); only src/kernels/ may time "
+                f"the host)")
         if rel.parts[0] == "src" and STDOUT_IN_SRC.search(code):
             errors.append(
                 f"{rel}:{lineno}: stdout write in library code "
