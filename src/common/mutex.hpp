@@ -1,0 +1,103 @@
+// Annotated synchronization primitives for the PDES-bound concurrency
+// surface.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// attributes, so code locking them correctly still trips Clang's
+// -Wthread-safety analysis. These thin wrappers add the capability
+// annotations (common/thread_annotations.hpp) with zero behavioural
+// change; off Clang they compile to the std primitives exactly.
+//
+// Conventions enforced by tools/audit's annotation checker:
+//   * library code under src/ holds common::Mutex, never a bare
+//     std::mutex / std::condition_variable member (this file is the one
+//     blessed home of the raw primitives);
+//   * every class holding a Mutex declares at least one
+//     AMOEBA_GUARDED_BY(that_mutex) member (or escapes with
+//     `// audit: unguarded-ok <reason>`).
+//
+// CondVar deliberately has no predicate-taking wait: a predicate lambda
+// cannot carry AMOEBA_REQUIRES, so its guarded reads would be invisible
+// to the analysis. Callers write the wait loop explicitly —
+//
+//   UniqueLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);
+//
+// — which keeps every guarded access inside an analysed scope.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace amoeba::common {
+
+/// std::mutex with Clang capability annotations.
+class AMOEBA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AMOEBA_ACQUIRE() { m_.lock(); }
+  void unlock() AMOEBA_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() AMOEBA_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  friend class UniqueLock;
+  std::mutex m_;
+};
+
+/// Scoped lock (std::lock_guard equivalent); not unlockable mid-scope.
+class AMOEBA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AMOEBA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AMOEBA_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock supporting manual unlock()/lock() (std::unique_lock
+/// equivalent) and CondVar waits. The destructor releases only if the
+/// lock is still held.
+class AMOEBA_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) AMOEBA_ACQUIRE(mu) : lk_(mu.m_) {}
+  ~UniqueLock() AMOEBA_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// Re-acquire after an unlock() (worker-loop pattern).
+  void lock() AMOEBA_ACQUIRE() { lk_.lock(); }
+  void unlock() AMOEBA_RELEASE() { lk_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable over a UniqueLock. `wait` atomically releases
+/// and re-acquires the lock; the caller must hold it (see the file
+/// comment for the explicit-loop wait idiom).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace amoeba::common

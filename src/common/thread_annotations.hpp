@@ -1,0 +1,63 @@
+// Clang thread-safety-analysis attribute macros (no-ops off Clang).
+//
+// These wrap the `-Wthread-safety` capability lattice so lock discipline is
+// machine-checked at compile time on the Clang CI leg (-Werror=thread-safety)
+// while GCC builds see plain code. The annotated primitives that use them
+// live in common/mutex.hpp; tools/audit's annotation checker requires every
+// class holding a mutex to declare at least one AMOEBA_GUARDED_BY member.
+//
+// Naming follows the Clang documentation's capability vocabulary:
+//   AMOEBA_CAPABILITY(name)    - type acts as a capability ("mutex")
+//   AMOEBA_SCOPED_CAPABILITY   - RAII type that acquires in ctor/releases in dtor
+//   AMOEBA_GUARDED_BY(mu)      - data member readable/writable only under mu
+//   AMOEBA_PT_GUARDED_BY(mu)   - pointee guarded by mu (pointer itself is not)
+//   AMOEBA_REQUIRES(mu)        - caller must hold mu across the call
+//   AMOEBA_ACQUIRE(mu...)      - function acquires mu and does not release it
+//   AMOEBA_RELEASE(mu...)      - function releases mu
+//   AMOEBA_TRY_ACQUIRE(b, mu)  - acquires mu iff it returns b
+//   AMOEBA_EXCLUDES(mu)        - caller must NOT hold mu (non-reentrancy)
+//   AMOEBA_ASSERT_CAPABILITY   - runtime assertion that mu is held
+//   AMOEBA_RETURN_CAPABILITY   - function returns a reference to mu
+//   AMOEBA_NO_THREAD_SAFETY_ANALYSIS - opt a definition out (wrapper internals)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AMOEBA_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef AMOEBA_THREAD_ANNOTATION_
+#define AMOEBA_THREAD_ANNOTATION_(x)  // no-op: not Clang, or no TSA support
+#endif
+
+#define AMOEBA_CAPABILITY(x) AMOEBA_THREAD_ANNOTATION_(capability(x))
+#define AMOEBA_SCOPED_CAPABILITY AMOEBA_THREAD_ANNOTATION_(scoped_lockable)
+#define AMOEBA_GUARDED_BY(x) AMOEBA_THREAD_ANNOTATION_(guarded_by(x))
+#define AMOEBA_PT_GUARDED_BY(x) AMOEBA_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define AMOEBA_ACQUIRED_BEFORE(...) \
+  AMOEBA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AMOEBA_ACQUIRED_AFTER(...) \
+  AMOEBA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define AMOEBA_REQUIRES(...) \
+  AMOEBA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define AMOEBA_REQUIRES_SHARED(...) \
+  AMOEBA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define AMOEBA_ACQUIRE(...) \
+  AMOEBA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AMOEBA_ACQUIRE_SHARED(...) \
+  AMOEBA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define AMOEBA_RELEASE(...) \
+  AMOEBA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define AMOEBA_RELEASE_SHARED(...) \
+  AMOEBA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define AMOEBA_TRY_ACQUIRE(...) \
+  AMOEBA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define AMOEBA_EXCLUDES(...) \
+  AMOEBA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define AMOEBA_ASSERT_CAPABILITY(x) \
+  AMOEBA_THREAD_ANNOTATION_(assert_capability(x))
+#define AMOEBA_RETURN_CAPABILITY(x) \
+  AMOEBA_THREAD_ANNOTATION_(lock_returned(x))
+#define AMOEBA_NO_THREAD_SAFETY_ANALYSIS \
+  AMOEBA_THREAD_ANNOTATION_(no_thread_safety_analysis)

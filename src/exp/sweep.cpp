@@ -2,9 +2,10 @@
 
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.hpp"
 
 namespace amoeba::exp {
 
@@ -47,8 +48,10 @@ void parallel_for(std::size_t n, unsigned threads,
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  struct ErrorSlot {
+    common::Mutex mutex;
+    std::exception_ptr first_error AMOEBA_GUARDED_BY(mutex);
+  } errors;
 
   auto worker = [&] {
     for (;;) {
@@ -57,8 +60,8 @@ void parallel_for(std::size_t n, unsigned threads,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        common::MutexLock lock(errors.mutex);
+        if (!errors.first_error) errors.first_error = std::current_exception();
         return;
       }
     }
@@ -68,7 +71,12 @@ void parallel_for(std::size_t n, unsigned threads,
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::exception_ptr err;
+  {
+    common::MutexLock lock(errors.mutex);
+    err = errors.first_error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace amoeba::exp

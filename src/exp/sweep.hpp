@@ -59,6 +59,13 @@ template <typename T>
 /// the result table is a pure function of the configuration list:
 /// `map` returns results in configuration order regardless of jobs count
 /// or completion order.
+///
+/// Concurrency surface: the only cross-thread state is the annotated
+/// kernels::ThreadPool (Clang thread-safety checked) and the result
+/// vector, which workers write at disjoint indices i — the pool's
+/// wait_idle() join orders those writes before the caller reads them.
+/// SweepExecutor itself is confined to the submitting thread: `map` /
+/// `map_indexed` must not be called concurrently on one executor.
 class SweepExecutor {
  public:
   /// `jobs` worker threads; 1 (also the parse_jobs_flag default) runs

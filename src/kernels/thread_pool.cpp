@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace amoeba::kernels {
 
@@ -26,8 +27,10 @@ void parallel_chunks(std::size_t n, unsigned threads,
     return;
   }
   const std::size_t chunk = (n + workers - 1) / workers;
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  struct ErrorSlot {
+    common::Mutex mutex;
+    std::exception_ptr first_error AMOEBA_GUARDED_BY(mutex);
+  } errors;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -38,13 +41,18 @@ void parallel_chunks(std::size_t n, unsigned threads,
       try {
         fn(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        common::MutexLock lock(errors.mutex);
+        if (!errors.first_error) errors.first_error = std::current_exception();
       }
     });
   }
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::exception_ptr err;
+  {
+    common::MutexLock lock(errors.mutex);
+    err = errors.first_error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -57,7 +65,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -67,7 +75,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   AMOEBA_EXPECTS(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     AMOEBA_EXPECTS_MSG(!stop_, "submit on a stopping ThreadPool");
     queue_.push_back(std::move(task));
   }
@@ -75,19 +83,19 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(err);
+  std::exception_ptr err;
+  {
+    common::UniqueLock lock(mutex_);
+    while (!queue_.empty() || in_flight_ != 0) all_done_.wait(lock);
+    err = std::exchange(first_error_, nullptr);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::UniqueLock lock(mutex_);
   for (;;) {
-    work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) work_ready_.wait(lock);
     if (queue_.empty()) return;  // stop_ && drained
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();

@@ -5,17 +5,22 @@
 // splits [0, n) into contiguous chunks, one per worker. `ThreadPool` is a
 // persistent worker pool for callers that dispatch many small task batches
 // (the sweep executor) and don't want a thread spawn per batch.
+//
+// All shared state is annotated for Clang's thread-safety analysis
+// (common/mutex.hpp); the Clang CI leg compiles with
+// -Werror=thread-safety, so a guarded member touched without its mutex is
+// a build error, not a review comment.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/mutex.hpp"
 
 namespace amoeba::kernels {
 
@@ -49,23 +54,23 @@ class ThreadPool {
   }
 
   /// Enqueue a task. Never blocks on task execution.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) AMOEBA_EXCLUDES(mutex_);
 
   /// Block until every submitted task has finished, then rethrow the first
   /// captured task exception, if any.
-  void wait_idle();
+  void wait_idle() AMOEBA_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() AMOEBA_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;   // signalled on submit/stop
-  std::condition_variable all_done_;     // signalled when the pool drains
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  // dequeued but not yet finished
-  bool stop_ = false;
-  std::exception_ptr first_error_;
-  std::vector<std::thread> workers_;
+  common::Mutex mutex_;
+  common::CondVar work_ready_;   // signalled on submit/stop
+  common::CondVar all_done_;     // signalled when the pool drains
+  std::deque<std::function<void()>> queue_ AMOEBA_GUARDED_BY(mutex_);
+  std::size_t in_flight_ AMOEBA_GUARDED_BY(mutex_) = 0;  // dequeued, unfinished
+  bool stop_ AMOEBA_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ AMOEBA_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_;  // written only in ctor, joined in dtor
 };
 
 }  // namespace amoeba::kernels

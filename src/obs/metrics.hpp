@@ -6,6 +6,15 @@
 // values into a time-stamped record for the JSONL exporter; histogram
 // snapshots carry summary quantiles rather than raw bins to keep the
 // export compact.
+//
+// Threading model (ahead of the PDES engine sharding): registry
+// *structure* — the name→node maps — is mutex-guarded and thread-safe,
+// so concurrent shards may look up / create nodes. The returned Counter/
+// Gauge/HistogramMetric nodes are NOT internally synchronized: each node
+// must be mutated by one owner at a time (today: the single simulation
+// thread; under sharding: the shard that registered it). Snapshotting is
+// coordinator-only and happens at barriers, never concurrently with node
+// mutation.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "stats/histogram.hpp"
 
 namespace amoeba::obs {
@@ -92,26 +102,31 @@ struct MetricsSnapshot {
 class MetricsRegistry {
  public:
   /// Look up or create; returned references stay valid for the registry's
-  /// lifetime.
-  Counter& counter(const std::string& name, const MetricLabels& labels = {});
-  Gauge& gauge(const std::string& name, const MetricLabels& labels = {});
+  /// lifetime (std::map node stability). Safe to call concurrently.
+  Counter& counter(const std::string& name, const MetricLabels& labels = {})
+      AMOEBA_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, const MetricLabels& labels = {})
+      AMOEBA_EXCLUDES(mutex_);
   HistogramMetric& histogram(const std::string& name,
-                             const MetricLabels& labels = {});
+                             const MetricLabels& labels = {})
+      AMOEBA_EXCLUDES(mutex_);
 
-  /// Freeze current values into the snapshot series.
-  const MetricsSnapshot& take_snapshot(double time_s);
+  /// Freeze current values into the snapshot series. Coordinator-only:
+  /// must not race node mutation (see the threading model above).
+  const MetricsSnapshot& take_snapshot(double time_s) AMOEBA_EXCLUDES(mutex_);
 
   [[nodiscard]] const std::vector<MetricsSnapshot>& snapshots() const noexcept {
     return snapshots_;
   }
-  [[nodiscard]] std::size_t size() const noexcept {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  [[nodiscard]] std::size_t size() const AMOEBA_EXCLUDES(mutex_);
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, HistogramMetric> histograms_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Counter> counters_ AMOEBA_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ AMOEBA_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramMetric> histograms_ AMOEBA_GUARDED_BY(mutex_);
+  // Coordinator-confined (append in take_snapshot, read after runs); not
+  // guarded so exporters can hold the returned reference lock-free.
   std::vector<MetricsSnapshot> snapshots_;
 };
 

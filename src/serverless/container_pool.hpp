@@ -10,7 +10,6 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "serverless/container.hpp"
@@ -130,10 +129,16 @@ class ContainerPool {
   sim::CountingResource memory_;
   double keep_alive_s_;
   ContainerId next_id_ = 1;
+  // All per-function maps iterate in sorted-key order: total_counts()
+  // feeds cluster summaries and admission decisions, and the memory
+  // gauges feed accounting integrals, so iteration order is
+  // trace-affecting. std::unordered_map here would make summaries (and,
+  // through float-sum non-associativity, trace hashes) depend on hash
+  // seed and insertion order; tools/audit's ordering checker bans it.
   std::map<ContainerId, Container> containers_;  // deterministic iteration
-  std::unordered_map<std::string, std::vector<ContainerId>> idle_by_fn_;
-  std::unordered_map<std::string, PoolCounts> counts_by_fn_;
-  std::unordered_map<std::string, stats::IntegratedGauge> mem_gauge_by_fn_;
+  std::map<std::string, std::vector<ContainerId>> idle_by_fn_;
+  std::map<std::string, PoolCounts> counts_by_fn_;
+  std::map<std::string, stats::IntegratedGauge> mem_gauge_by_fn_;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t boot_failures_ = 0;

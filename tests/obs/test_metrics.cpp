@@ -73,8 +73,8 @@ TEST(MetricsRegistry, EmptyHistogramSnapshotOmitsQuantiles) {
   EXPECT_FALSE(s.histograms[0].second.min.has_value());
 }
 
-MetricsRegistry populated_registry() {
-  MetricsRegistry reg;
+// The registry holds a mutex (non-movable), so fixtures populate in place.
+void populate_registry(MetricsRegistry& reg) {
   reg.counter("queries", {{"service", "svc"}}).inc(11972.0);
   reg.gauge("load_qps", {{"service", "svc"}}).set(4.5666666666666673);
   reg.gauge("tiny").set(1.25e-9);
@@ -85,11 +85,11 @@ MetricsRegistry populated_registry() {
   reg.take_snapshot(5.0);
   reg.counter("queries", {{"service", "svc"}}).inc();
   reg.take_snapshot(10.0);
-  return reg;
 }
 
 TEST(MetricsJsonl, RoundTripsBitIdentically) {
-  MetricsRegistry reg = populated_registry();
+  MetricsRegistry reg;
+  populate_registry(reg);
   std::stringstream ss;
   write_metrics_jsonl(reg, ss);
 
@@ -127,7 +127,8 @@ TEST(MetricsJsonl, RoundTripsBitIdentically) {
 }
 
 TEST(MetricsJsonl, EveryLineIsValidJson) {
-  MetricsRegistry reg = populated_registry();
+  MetricsRegistry reg;
+  populate_registry(reg);
   std::stringstream ss;
   write_metrics_jsonl(reg, ss);
   std::string line;
@@ -143,7 +144,8 @@ TEST(MetricsJsonl, EveryLineIsValidJson) {
 }
 
 TEST(MetricsJsonl, RejectsMalformedLineButKeepsPrefix) {
-  MetricsRegistry reg = populated_registry();
+  MetricsRegistry reg;
+  populate_registry(reg);
   std::stringstream ss;
   write_metrics_jsonl(reg, ss);
   ss.clear();

@@ -1,0 +1,12 @@
+#include "sim/counter.hpp"
+
+namespace fixture::sim {
+
+void Counter::add(int delta) {
+  AMOEBA_EXPECTS(delta >= 0, "negative delta");
+  value_ += delta;
+}
+
+void Counter::reset() { value_ = 0; }
+
+}  // namespace fixture::sim

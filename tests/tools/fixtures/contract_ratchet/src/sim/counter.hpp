@@ -1,0 +1,18 @@
+// Contract-ratchet fixture: two public mutating methods, one covered by
+// an AMOEBA_EXPECTS in its out-of-line definition, one bare. With the
+// baseline frozen at min_ratio = 1.0 the measured 1/2 must fail.
+#pragma once
+
+namespace fixture::sim {
+
+class Counter {
+ public:
+  void add(int delta);
+  void reset();
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+}  // namespace fixture::sim

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::common {
+inline int base() { return 0; }
+}  // namespace fixture::common

@@ -1,0 +1,8 @@
+// Back-edge under test: the base layer reaching up into sim.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace fixture::common {
+inline int util() { return 1; }
+}  // namespace fixture::common

@@ -1,0 +1,8 @@
+// Legal edge: sim -> common is in the fixture DAG.
+#pragma once
+
+#include "common/base.hpp"
+
+namespace fixture::sim {
+inline int engine() { return 2; }
+}  // namespace fixture::sim

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace fixture::common {
+
+inline int disabled() { /* dead code kept for reference:
+  return rand();  // hash-seed jitter -- inert inside the block
+*/
+  return 0;
+}
+
+/* leading comment */ inline int hot() { return rand(); }
+
+}  // namespace fixture::common

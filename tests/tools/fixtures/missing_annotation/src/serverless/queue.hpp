@@ -1,0 +1,37 @@
+// Annotation-presence fixture: a raw std::mutex (banned outside
+// common/mutex.hpp), a wrapped mutex that guards nothing, and a condvar
+// whose class holds no mutex at all.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+namespace fixture::serverless {
+
+class LegacyQueue {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex raw_mu_;
+  std::vector<int> items_;
+};
+
+class WrappedQueue {
+ public:
+  void push(int v);
+
+ private:
+  common::Mutex mu_;
+  std::vector<int> items_;
+};
+
+class Signal {
+ public:
+  void notify();
+
+ private:
+  common::CondVar cv_;
+};
+
+}  // namespace fixture::serverless

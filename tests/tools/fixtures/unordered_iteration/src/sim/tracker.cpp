@@ -1,0 +1,18 @@
+#include "sim/tracker.hpp"
+
+namespace fixture::sim {
+
+void Tracker::note(const std::string& key) { weights_[key] += 1.0; }
+
+double Tracker::checksum() const {
+  double sum = 0.0;
+  for (const auto& [key, w] : weights_) {
+    sum = sum * 31.0 + w;  // order-sensitive fold over hash order
+  }
+  for (auto it = weights_.begin(); it != weights_.end(); ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+}  // namespace fixture::sim

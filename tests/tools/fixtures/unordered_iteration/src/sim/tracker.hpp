@@ -1,0 +1,29 @@
+// Ordering-checker fixture: unordered members in a trace-affecting
+// module; one escaped with a justification, one bare; iteration in the
+// sibling .cpp (cross-TU) plus a pointer-keyed map.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture::sim {
+
+struct Widget {
+  int id = 0;
+};
+
+class Tracker {
+ public:
+  void note(const std::string& key);
+  double checksum() const;
+
+ private:
+  std::unordered_map<std::string, double> weights_;
+  // audit: ordered-ok lookup cache, never iterated; checksum() uses keys_
+  std::unordered_set<std::string> seen_;
+  std::map<Widget*, int> by_widget_;
+};
+
+}  // namespace fixture::sim

@@ -1,0 +1,136 @@
+"""Fixture self-tests for tools/audit (the `audit_selftest` ctest entry).
+
+Each fixture under tests/tools/fixtures/ is a miniature source tree that
+seeds exactly the violations its checker must catch; expected_findings.txt
+holds one line per finding (a prefix of the rendered finding, so the
+long remediation text stays out of the goldens). The tests assert the
+finding count AND every expected prefix — a checker that goes blind or
+noisy fails either way.
+"""
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+from audit import annotations, contracts, layering, ordering  # noqa: E402
+from audit import cxx  # noqa: E402
+from audit.__main__ import main as audit_main  # noqa: E402
+
+FIXTURES = REPO / "tests" / "tools" / "fixtures"
+
+
+def expected_lines(fixture: Path) -> list[str]:
+    text = (fixture / "expected_findings.txt").read_text(encoding="utf-8")
+    return [ln for ln in text.splitlines() if ln.strip()]
+
+
+def assert_findings_match(test: unittest.TestCase, fixture: Path,
+                          findings) -> None:
+    rendered = [f.render() for f in findings]
+    expected = expected_lines(fixture)
+    test.assertEqual(
+        len(rendered), len(expected),
+        f"finding count mismatch in {fixture.name}:\n  got:\n    " +
+        "\n    ".join(rendered or ["<none>"]))
+    unmatched = list(rendered)
+    for want in expected:
+        hit = next((r for r in unmatched if r.startswith(want)), None)
+        test.assertIsNotNone(
+            hit, f"no finding starting with:\n  {want}\nin:\n  " +
+            "\n  ".join(unmatched or ["<none>"]))
+        unmatched.remove(hit)
+
+
+class LayeringFixtureTest(unittest.TestCase):
+    def test_backedge_is_flagged(self):
+        root = FIXTURES / "layering_backedge"
+        findings = layering.check(
+            root, root / "tools" / "audit" / "layers.toml", None)
+        assert_findings_match(self, root, findings)
+
+    def test_declared_cycle_is_rejected(self):
+        cycle = layering.declared_cycle(
+            {"a": {"b"}, "b": {"c"}, "c": {"a"}})
+        self.assertIsNotNone(cycle)
+
+    def test_repo_dag_is_acyclic(self):
+        allowed = layering.load_layers(
+            REPO / "tools" / "audit" / "layers.toml")
+        self.assertIsNone(layering.declared_cycle(allowed))
+
+
+class OrderingFixtureTest(unittest.TestCase):
+    def test_unordered_iteration_is_flagged(self):
+        root = FIXTURES / "unordered_iteration"
+        assert_findings_match(self, root, ordering.check(root))
+
+    def test_escape_requires_justification(self):
+        lines = ["// audit: ordered-ok", "std::unordered_map<int,int> m_;"]
+        self.assertFalse(cxx.escape_on_line(lines, 2, "ordered-ok"))
+        lines[0] = "// audit: ordered-ok never iterated"
+        self.assertTrue(cxx.escape_on_line(lines, 2, "ordered-ok"))
+
+
+class ContractsFixtureTest(unittest.TestCase):
+    def test_ratchet_regression_is_flagged(self):
+        root = FIXTURES / "contract_ratchet"
+        findings = contracts.check(
+            root, root / "tools" / "audit" / "contracts_baseline.toml")
+        assert_findings_match(self, root, findings)
+
+    def test_fixture_measurement(self):
+        covered, total, uncovered = contracts.measure(
+            FIXTURES / "contract_ratchet")
+        self.assertEqual((covered, total), (1, 2))
+        self.assertEqual(len(uncovered), 1)
+        self.assertIn("Counter::reset", uncovered[0])
+
+
+class AnnotationsFixtureTest(unittest.TestCase):
+    def test_missing_annotations_are_flagged(self):
+        root = FIXTURES / "missing_annotation"
+        assert_findings_match(self, root, annotations.check(root))
+
+
+class CliTest(unittest.TestCase):
+    def test_cli_exits_nonzero_on_fixture(self):
+        rc = audit_main([
+            "--root", str(FIXTURES / "unordered_iteration"),
+            "--checker", "ordering"])
+        self.assertEqual(rc, 1)
+
+    def test_cli_report_is_written(self):
+        import json
+        import tempfile
+        with tempfile.TemporaryDirectory() as td:
+            report = Path(td) / "audit.json"
+            rc = audit_main([
+                "--root", str(FIXTURES / "missing_annotation"),
+                "--checker", "annotations",
+                "--report", str(report)])
+            self.assertEqual(rc, 1)
+            data = json.loads(report.read_text(encoding="utf-8"))
+            self.assertEqual(data["checkers"]["annotations"], 3)
+            self.assertEqual(len(data["findings"]), 3)
+
+
+class ScannerTest(unittest.TestCase):
+    def test_scrub_preserves_layout(self):
+        text = 'int a; /* x\n y */ int b = "s;{";\n// tail\n'
+        scrubbed = cxx.scrub(text)
+        self.assertEqual(scrubbed.count("\n"), text.count("\n"))
+        self.assertNotIn("x", scrubbed)
+        self.assertNotIn("s;{", scrubbed)
+        self.assertIn("int b", scrubbed)
+
+    def test_find_classes_skips_enum_class(self):
+        scrubbed = cxx.scrub(
+            "enum class Color { kRed };\nstruct P { int x; };\n")
+        names = [b.name for b in cxx.find_classes(scrubbed)]
+        self.assertEqual(names, ["P"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,36 @@
+"""amoeba-audit: cross-TU static analysis for the Amoeba tree.
+
+Four checkers, driven by compile_commands.json plus a tolerant token-level
+C++ scanner (no libclang dependency):
+
+  layering     — the src/ module include graph must match the DAG frozen
+                 in tools/audit/layers.toml (no new edges, no cycles);
+  ordering     — no iteration over unordered/pointer-keyed containers in
+                 trace-affecting code (iteration order would leak hash
+                 seeds into traces and summaries);
+  contracts    — coverage ratchet: the fraction of public mutating methods
+                 carrying AMOEBA_EXPECTS/ENSURES must not regress below
+                 tools/audit/contracts_baseline.toml;
+  annotations  — every mutex-holding class declares AMOEBA_GUARDED_BY
+                 members, and raw std::mutex/std::condition_variable stay
+                 confined to common/mutex.hpp.
+
+Run as `python3 tools/audit` (the `audit` ctest entry and CI job).
+"""
+# NOTE: no `from __future__ import annotations` — it would set an
+# `annotations` attribute on the package, shadowing the checker module of
+# the same name for `from audit import annotations`.
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, pointing at file:line."""
+    checker: str
+    path: str  # repo-relative, posix
+    line: int  # 1-based; 0 for whole-file/summary findings
+    message: str
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"[{self.checker}] {where}: {self.message}"

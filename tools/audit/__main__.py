@@ -1,0 +1,115 @@
+"""CLI entry: `python3 tools/audit [options]`.
+
+Runs the four checkers (layering, ordering, contracts, annotations) over
+a tree and exits non-zero on findings. Wired as the `audit` ctest entry
+and the CI `audit` job; fixture self-tests live in tests/tools/.
+"""
+# NOTE: no `from __future__ import annotations` here — it would shadow
+# the `annotations` checker module binding below.
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # `python3 tools/audit` (zip/dir execution)
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from audit import Finding  # noqa: F401  (re-export for checkers)
+    from audit import annotations, contracts, layering, ordering
+else:
+    from . import annotations, contracts, layering, ordering
+
+CHECKERS = ("layering", "ordering", "contracts", "annotations")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/audit", description=__doc__)
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="tree to analyze (default: this repository)")
+    parser.add_argument(
+        "--compile-commands", type=Path, default=None,
+        help="compile_commands.json (default: <root>/build/"
+             "compile_commands.json when present)")
+    parser.add_argument(
+        "--config", type=Path, default=None,
+        help="layering DAG (default: <root>/tools/audit/layers.toml)")
+    parser.add_argument(
+        "--contracts-baseline", type=Path, default=None,
+        help="ratchet baseline (default: <root>/tools/audit/"
+             "contracts_baseline.toml)")
+    parser.add_argument(
+        "--checker", action="append", choices=CHECKERS, default=None,
+        help="run only the named checker(s); default all")
+    parser.add_argument(
+        "--report", type=Path, default=None,
+        help="write a JSON findings report here (for CI artifact upload)")
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="refreeze contracts_baseline.toml at the measured coverage")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    config = args.config or root / "tools" / "audit" / "layers.toml"
+    baseline = (args.contracts_baseline
+                or root / "tools" / "audit" / "contracts_baseline.toml")
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        default_cc = root / "build" / "compile_commands.json"
+        compile_commands = default_cc if default_cc.is_file() else None
+
+    if args.update_baselines:
+        covered, total, _ = contracts.measure(root)
+        contracts.write_baseline(baseline, covered, total)
+        print(f"audit: baseline refrozen at {covered}/{total} "
+              f"({covered / total if total else 1.0:.3f}) -> {baseline}")
+        return 0
+
+    selected = args.checker or list(CHECKERS)
+    findings = []
+    per_checker: dict[str, int] = {}
+    for name in selected:
+        if name == "layering":
+            got = layering.check(root, config, compile_commands)
+        elif name == "ordering":
+            got = ordering.check(root)
+        elif name == "contracts":
+            got = contracts.check(root, baseline)
+        else:
+            got = annotations.check(root)
+        per_checker[name] = len(got)
+        findings.extend(got)
+
+    if args.report:
+        covered, total, uncovered = contracts.measure(root)
+        report = {
+            "root": str(root),
+            "checkers": per_checker,
+            "contract_coverage": {
+                "covered": covered, "total": total,
+                "ratio": covered / total if total else 1.0,
+                "uncovered": uncovered,
+            },
+            "findings": [
+                {"checker": f.checker, "path": f.path, "line": f.line,
+                 "message": f.message}
+                for f in findings
+            ],
+        }
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2) + "\n",
+                               encoding="utf-8")
+
+    if findings:
+        print(f"audit: {len(findings)} finding(s)", file=sys.stderr)
+        for f in findings:
+            print(f"  {f.render()}", file=sys.stderr)
+        return 1
+    summary = ", ".join(f"{k}: clean" for k in selected)
+    print(f"audit: clean ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Thread-safety annotation presence checker.
+
+The Clang CI leg (-Werror=thread-safety) can only check lock discipline
+that is *annotated*; this checker makes the annotations themselves
+mandatory, on every compiler:
+
+  * raw `std::mutex` / `std::condition_variable` (and std lock types)
+    members are banned under src/ outside common/mutex.hpp — shared state
+    uses the annotated wrappers (common::Mutex/CondVar) so the analysis
+    sees every acquisition;
+  * every class/struct holding a common::Mutex member must declare at
+    least one member annotated AMOEBA_GUARDED_BY / AMOEBA_PT_GUARDED_BY
+    naming that mutex — a mutex that guards nothing is either dead weight
+    or (worse) informally guarding state the analysis cannot see;
+  * every class holding a common::CondVar must also hold a (checked)
+    common::Mutex — a condition variable without its mutex in the same
+    class is being signalled across an invisible protocol.
+
+Escape hatch: `// audit: unguarded-ok <justification>` on the mutex
+member's line (or the line above).
+"""
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from . import Finding
+from .cxx import escape_on_line, find_classes, line_of, read_scrubbed, \
+    split_members
+
+CHECKER = "annotations"
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|condition_variable(?:_any)?|recursive_mutex|"
+    r"shared_mutex|timed_mutex)\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"(?:^|\s)(?:mutable\s+)?(?:common::|amoeba::common::)?Mutex\s+"
+    r"([A-Za-z_]\w*)\s*(?:;|=|$)")
+CONDVAR_MEMBER_RE = re.compile(
+    r"(?:^|\s)(?:common::|amoeba::common::)?CondVar\s+([A-Za-z_]\w*)")
+GUARDED_BY_RE = re.compile(
+    r"\bAMOEBA_(?:PT_)?GUARDED_BY\s*\(\s*([A-Za-z_][\w.\->]*)\s*\)")
+
+ALLOWED_RAW = ("src/common/mutex.hpp",)
+
+
+def check(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    src = root / "src"
+    if not src.is_dir():
+        return findings
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cpp", ".hpp", ".h"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        raw, scrubbed = read_scrubbed(path)
+        raw_lines = raw.splitlines()
+
+        if rel not in ALLOWED_RAW:
+            for m in RAW_SYNC_RE.finditer(scrubbed):
+                line = line_of(scrubbed, m.start())
+                if not escape_on_line(raw_lines, line, "unguarded-ok"):
+                    findings.append(Finding(
+                        CHECKER, rel, line,
+                        f"raw std::{m.group(1)} in library code: use the "
+                        f"annotated wrappers in common/mutex.hpp so "
+                        f"-Wthread-safety can check lock discipline"))
+
+        for body in find_classes(scrubbed):
+            members = split_members(scrubbed, body)
+            mutexes: list[tuple[int, str]] = []
+            condvars: list[tuple[int, str]] = []
+            guarded_targets: set[str] = set()
+            for member in members:
+                mm = MUTEX_MEMBER_RE.search(member.text)
+                if mm:
+                    mutexes.append((member.line, mm.group(1)))
+                cm = CONDVAR_MEMBER_RE.search(member.text)
+                if cm:
+                    condvars.append((member.line, cm.group(1)))
+                for gm in GUARDED_BY_RE.finditer(member.text):
+                    guarded_targets.add(gm.group(1).split(".")[-1])
+            for line, name in mutexes:
+                if name in guarded_targets:
+                    continue
+                if escape_on_line(raw_lines, line, "unguarded-ok"):
+                    continue
+                findings.append(Finding(
+                    CHECKER, rel, line,
+                    f"{body.kind} {body.name}: mutex member '{name}' has "
+                    f"no AMOEBA_GUARDED_BY({name}) member — annotate what "
+                    f"it guards (or escape with `// audit: unguarded-ok "
+                    f"<why>`)"))
+            for line, name in condvars:
+                if mutexes:
+                    continue
+                if escape_on_line(raw_lines, line, "unguarded-ok"):
+                    continue
+                findings.append(Finding(
+                    CHECKER, rel, line,
+                    f"{body.kind} {body.name}: condition variable "
+                    f"'{name}' without a Mutex member in the same class — "
+                    f"the wait protocol is invisible to the analysis"))
+    return findings

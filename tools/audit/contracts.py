@@ -1,0 +1,181 @@
+"""Contract-coverage ratchet.
+
+Measures the fraction of public mutating methods in the trace-affecting
+modules (src/sim, src/core, src/serverless, src/iaas) whose definition
+carries at least one AMOEBA_EXPECTS / AMOEBA_ENSURES / AMOEBA_INVARIANT
+check, and fails when the fraction regresses below the frozen baseline in
+tools/audit/contracts_baseline.toml.
+
+"Public mutating method" — a tolerant, stable approximation:
+  * declared in a `public:` section of a class/struct in a module header;
+  * non-const, non-static, not a constructor/destructor/operator, not
+    `= default` / `= delete`, not a using/typedef/friend declaration;
+  * returns something or nothing — signature shape does not matter.
+
+Cross-TU matching: a declaration's definition is its inline body when it
+has one, else the `ClassName::method(...)` definition found in any .cpp
+of the same module (this is where compile_commands-style cross-TU
+resolution matters: headers declare, TUs define).
+
+The ratchet only tightens: when coverage rises, refreeze with
+`python3 tools/audit --update-baselines` in the same commit.
+"""
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from . import Finding
+from .cxx import find_classes, find_matching, read_scrubbed, split_members
+
+CHECKER = "contracts"
+
+MODULES = ("sim", "core", "serverless", "iaas")
+
+CONTRACT_RE = re.compile(r"\bAMOEBA_(EXPECTS|ENSURES|INVARIANT|ASSERT)\w*\s*\(")
+
+# Declaration shapes that are not checkable methods.
+SKIP_DECL_RE = re.compile(
+    r"^(using\b|typedef\b|friend\b|template\b|enum\b|class\b|struct\b|"
+    r"static\b|AMOEBA_|#)")
+METHOD_NAME_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def is_public_mutating_method(member_text: str,
+                              class_name: str) -> str | None:
+    """Return the method name if this declaration is a public mutating
+    method, else None. (`member.access` gates public-ness; this gates
+    shape.)"""
+    t = member_text
+    if SKIP_DECL_RE.match(t):
+        return None
+    if "operator" in t or "~" in t:
+        return None
+    if re.search(r"=\s*(default|delete)\s*$", t):
+        return None
+    m = METHOD_NAME_RE.search(t)
+    if not m:
+        return None  # data member or unparsable
+    name = m.group(1)
+    if name == class_name:
+        return None  # constructor
+    # const method ⇒ non-mutating. Look for `const` after the closing
+    # paren of the parameter list (tolerates noexcept/attrs after it).
+    close = t.find(")", m.end())
+    tail = t[close + 1:] if close >= 0 else ""
+    tail = tail.split("{")[0]
+    if re.search(r"^\s*const\b", tail):
+        return None
+    # A parenthesized initializer (`int x (0);`) is not a method; demand
+    # either a body, a trailing `;`-terminated signature with a type
+    # before the name, or qualifiers after.
+    before = t[:m.start()].strip()
+    if not before:
+        return None  # no return type ⇒ likely macro or initializer
+    return name
+
+
+def definition_has_contract(scrubbed_cpp: str, class_name: str,
+                            method: str) -> bool | None:
+    """True/False if a `Class::method` definition was found in this TU
+    (and does/doesn't contain a contract); None if not found."""
+    pattern = re.compile(
+        r"\b" + re.escape(class_name) + r"\s*::\s*" + re.escape(method) +
+        r"\s*\(")
+    for m in pattern.finditer(scrubbed_cpp):
+        open_brace = scrubbed_cpp.find("{", m.end())
+        semi = scrubbed_cpp.find(";", m.end())
+        if open_brace < 0 or (0 <= semi < open_brace):
+            continue  # out-of-line declaration, not a definition
+        close = find_matching(scrubbed_cpp, open_brace)
+        if close < 0:
+            close = len(scrubbed_cpp)
+        body = scrubbed_cpp[open_brace:close]
+        return CONTRACT_RE.search(body) is not None
+    return None
+
+
+def measure(root: Path) -> tuple[int, int, list[str]]:
+    """(covered, total, uncovered-method-list) over the scoped modules."""
+    covered = 0
+    total = 0
+    uncovered: list[str] = []
+    for module in MODULES:
+        mod_dir = root / "src" / module
+        if not mod_dir.is_dir():
+            continue
+        headers = sorted(p for p in mod_dir.rglob("*")
+                         if p.suffix in (".hpp", ".h"))
+        cpps = sorted(mod_dir.rglob("*.cpp"))
+        cpp_scrubbed = [read_scrubbed(p)[1] for p in cpps]
+        for header in headers:
+            _, scrubbed = read_scrubbed(header)
+            rel = header.relative_to(root).as_posix()
+            for body in find_classes(scrubbed):
+                for member in split_members(scrubbed, body):
+                    if member.access != "public":
+                        continue
+                    name = is_public_mutating_method(member.text, body.name)
+                    if name is None:
+                        continue
+                    total += 1
+                    if member.has_body:
+                        ok = CONTRACT_RE.search(member.body) is not None
+                    else:
+                        ok = False
+                        for cpp in cpp_scrubbed:
+                            got = definition_has_contract(cpp, body.name, name)
+                            if got is not None:
+                                ok = got
+                                break
+                    if ok:
+                        covered += 1
+                    else:
+                        uncovered.append(
+                            f"{rel}:{member.line}: {body.name}::{name}")
+    return covered, total, uncovered
+
+
+def load_baseline(path: Path) -> float:
+    import tomllib
+    with path.open("rb") as fh:
+        data = tomllib.load(fh)
+    return float(data["coverage"]["min_ratio"])
+
+
+def write_baseline(path: Path, covered: int, total: int) -> None:
+    ratio = covered / total if total else 1.0
+    # Floor to 3 decimals so counting noise from scanner tweaks doesn't
+    # flap the gate; real regressions are way bigger than 0.001.
+    floored = int(ratio * 1000) / 1000.0
+    path.write_text(
+        "# Contract-coverage ratchet baseline (tools/audit). Regenerate\n"
+        "# with `python3 tools/audit --update-baselines` — only in commits\n"
+        "# that raise coverage; the checker fails when the measured ratio\n"
+        "# drops below min_ratio.\n"
+        "[coverage]\n"
+        f"# measured at freeze time: {covered}/{total} public mutating\n"
+        f"# methods carried AMOEBA_EXPECTS/ENSURES/INVARIANT checks\n"
+        f"min_ratio = {floored}\n",
+        encoding="utf-8")
+
+
+def check(root: Path, baseline_path: Path) -> list[Finding]:
+    covered, total, uncovered = measure(root)
+    ratio = covered / total if total else 1.0
+    if not baseline_path.is_file():
+        return [Finding(
+            CHECKER, baseline_path.name, 0,
+            f"missing baseline file (measured {covered}/{total} = "
+            f"{ratio:.3f}); run `python3 tools/audit --update-baselines`")]
+    min_ratio = load_baseline(baseline_path)
+    if ratio + 1e-9 < min_ratio:
+        listing = "; ".join(uncovered[:10])
+        more = f" (+{len(uncovered) - 10} more)" if len(uncovered) > 10 else ""
+        return [Finding(
+            CHECKER, baseline_path.name, 0,
+            f"contract coverage regressed: {covered}/{total} = {ratio:.3f} "
+            f"< frozen min_ratio {min_ratio:.3f}. Add AMOEBA_EXPECTS/"
+            f"ENSURES to new public mutating methods. Uncovered: "
+            f"{listing}{more}")]
+    return []

@@ -1,0 +1,277 @@
+"""Tolerant token-level C++ scanning helpers shared by the audit checkers.
+
+This is deliberately not a parser: the checkers need include edges, class
+bodies, member declarations and macro mentions, all of which survive a
+line-oriented scan once comments and string literals are stripped. The
+scrubber keeps line structure intact (every stripped region is replaced by
+spaces/newlines) so findings can point at real file:line locations.
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+# `[ \t]*` (not `\s*`): with MULTILINE, `\s*` would let the match start on
+# a preceding blank line and shift the reported line number up by one.
+INCLUDE_RE = re.compile(r'^[ \t]*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def scrub(text: str) -> str:
+    """Strip comments and string/char literals, preserving layout.
+
+    Replaced characters become spaces (newlines survive), so offsets and
+    line numbers in the scrubbed text match the original. Handles `//`,
+    `/* ... */` spanning lines or opened mid-line, escapes inside
+    literals, and raw strings R"(...)" / R"tag(...)tag".
+    """
+    out = list(text)
+    i = 0
+    n = len(text)
+
+    def blank(a: int, b: int) -> None:
+        for k in range(a, b):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        ch = text[i]
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            end = n if end < 0 else end
+            blank(i, end)
+            i = end
+        elif text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            end = n if end < 0 else end + 2
+            blank(i, end)
+            i = end
+        elif text.startswith('R"', i):
+            tag_end = text.find("(", i + 2)
+            if tag_end < 0:
+                i += 2
+                continue
+            tag = text[i + 2:tag_end]
+            close = text.find(")" + tag + '"', tag_end)
+            end = n if close < 0 else close + len(tag) + 2
+            blank(i + 1, end)  # keep the R so tokens stay word-separated
+            i = end
+        elif ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            end = min(j + 1, n)
+            # Keep `#include "path"` literals: the layering checker reads
+            # include paths from the scrubbed text. (A commented-out
+            # include never reaches here — its quotes are blanked with
+            # the comment.) The prefix check runs on the scrubbed prefix
+            # so a /*...*/ before the directive doesn't hide it.
+            line_start = text.rfind("\n", 0, i) + 1
+            prefix = "".join(out[line_start:i])
+            if not re.match(r"\s*#\s*include\s*$", prefix):
+                blank(i + 1, end - 1)
+            i = end
+        elif ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            end = min(j + 1, n)
+            blank(i + 1, end - 1)
+            i = end
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    """1-based line number of `offset` in `text`."""
+    return text.count("\n", 0, offset) + 1
+
+
+def includes(scrubbed: str) -> list[tuple[int, str]]:
+    """All quoted-include paths with their line numbers."""
+    return [(line_of(scrubbed, m.start()), m.group(1))
+            for m in INCLUDE_RE.finditer(scrubbed)]
+
+
+@dataclass
+class ClassBody:
+    """One class/struct body found in a scrubbed source."""
+    name: str
+    kind: str          # "class" | "struct"
+    line: int          # 1-based line of the body-opening brace
+    start: int         # offset just past '{'
+    end: int           # offset of the matching '}'
+    depth: int         # nesting depth (0 = top level inside namespaces)
+
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(class|struct)\s+(?:AMOEBA_\w+\s*(?:\([^()]*\))?\s*)*"
+    r"(?:alignas\s*\([^()]*\)\s*)*([A-Za-z_]\w*)\b")
+
+
+def find_classes(scrubbed: str) -> list[ClassBody]:
+    """Locate every class/struct body via brace matching.
+
+    Tolerant: a `class X` head is associated with the next `{` that is not
+    preceded by a `;` (forward declarations are skipped). Enum classes and
+    base-clause colons are handled; function-local structs are reported
+    too (the annotation checker wants those).
+    """
+    bodies: list[ClassBody] = []
+    open_stack: list[tuple[str, str, int, int] | None] = []
+    pending: tuple[str, str, int] | None = None  # (kind, name, head_offset)
+    i = 0
+    n = len(scrubbed)
+    while i < n:
+        ch = scrubbed[i]
+        if ch in ";":
+            pending = None
+            i += 1
+            continue
+        if ch == "{":
+            if pending is not None:
+                open_stack.append(
+                    (pending[0], pending[1], pending[2], i + 1))
+                pending = None
+            else:
+                open_stack.append(None)
+            i += 1
+            continue
+        if ch == "}":
+            if open_stack:
+                top = open_stack.pop()
+                if top is not None:
+                    kind, name, _head, start = top
+                    bodies.append(ClassBody(
+                        name=name, kind=kind, line=line_of(scrubbed, start - 1),
+                        start=start, end=i,
+                        depth=sum(1 for e in open_stack if e is not None)))
+            i += 1
+            continue
+        m = CLASS_HEAD_RE.match(scrubbed, i)
+        if m and not _is_enum_class(scrubbed, i):
+            pending = (m.group(1), m.group(2), i)
+            i = m.end()
+            continue
+        i += 1
+    bodies.sort(key=lambda b: b.start)
+    return bodies
+
+
+def _is_enum_class(scrubbed: str, offset: int) -> bool:
+    return scrubbed[max(0, offset - 6):offset].rstrip().endswith("enum")
+
+
+@dataclass
+class Member:
+    """One declaration inside a class body (field or method)."""
+    line: int
+    text: str           # whitespace-normalized declaration text (no body)
+    access: str         # "public" | "protected" | "private"
+    has_body: bool      # inline definition present
+    body: str = ""      # inline body text ("" when has_body is False)
+
+
+ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:\s*$")
+
+
+def split_members(scrubbed: str, body: ClassBody) -> list[Member]:
+    """Split a class body into member declarations.
+
+    Scans at depth 0 of the body, treating `{...}` as an inline definition
+    attached to the preceding declaration and `;` as a terminator.
+    Access-specifier labels update the running access level (`class`
+    defaults private, `struct` public). Nested class bodies are consumed
+    as inline bodies of their own declaration; their members come from
+    their own ClassBody entry.
+    """
+    text = scrubbed[body.start:body.end]
+    members: list[Member] = []
+    access = "public" if body.kind == "struct" else "private"
+    decl_start = 0
+    i = 0
+    n = len(text)
+    depth_round = 0  # (), [] and <> are all tolerated inside; only () tracked
+
+    def flush(end: int, has_body: bool, body_text: str = "") -> int:
+        """Record text[decl_start:end] as one declaration; returns the new
+        decl_start."""
+        nonlocal access
+        raw_decl = text[decl_start:end]
+        # Peel access labels off the raw text first, so the reported line
+        # is the declaration's own line, not the `public:` label's.
+        off = decl_start
+        while True:
+            label = re.match(r"\s*(public|protected|private)\s*:", raw_decl)
+            if not label:
+                break
+            access = label.group(1)
+            off += label.end()
+            raw_decl = raw_decl[label.end():]
+        lead_ws = len(raw_decl) - len(raw_decl.lstrip())
+        line = body.line + text.count("\n", 0, off + lead_ws)
+        decl = " ".join(raw_decl.split())
+        if decl:
+            members.append(Member(line=line, text=decl, access=access,
+                                  has_body=has_body, body=body_text))
+        return end + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "(":
+            depth_round += 1
+        elif ch == ")":
+            depth_round = max(0, depth_round - 1)
+        elif ch == ";" and depth_round == 0:
+            decl_start = flush(i, has_body=False)
+        elif ch == "{" and depth_round == 0:
+            close = find_matching(text, i)
+            close = n if close < 0 else close
+            decl_start = flush(i, has_body=True, body_text=text[i:close + 1])
+            # Skip the body and an optional trailing ';'.
+            k = close + 1
+            while k < n and text[k] in " \t\n":
+                k += 1
+            if k < n and text[k] == ";":
+                k += 1
+            decl_start = k
+            i = k
+            continue
+        i += 1
+    return members
+
+
+def find_matching(text: str, open_idx: int,
+                  open_ch: str = "{", close_ch: str = "}") -> int:
+    """Offset of the brace matching text[open_idx], or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def read_scrubbed(path: Path) -> tuple[str, str]:
+    """(raw_text, scrubbed_text) for one source file."""
+    raw = path.read_text(encoding="utf-8")
+    return raw, scrub(raw)
+
+
+ESCAPE_RE = re.compile(r"//\s*audit:\s*([\w-]+)\s*(.*)$")
+
+
+def escape_on_line(raw_text_lines: list[str], line: int, tag: str) -> bool:
+    """True if `line` (1-based) or the line above carries a justified
+    `// audit: <tag> <why>` escape. An escape with no justification text
+    does not count — the why is the point."""
+    for candidate in (line, line - 1):
+        if 1 <= candidate <= len(raw_text_lines):
+            m = ESCAPE_RE.search(raw_text_lines[candidate - 1])
+            if m and m.group(1) == tag and m.group(2).strip():
+                return True
+    return False

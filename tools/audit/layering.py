@@ -1,0 +1,134 @@
+"""Layering checker: the src/ include graph must match layers.toml.
+
+Extracts every `#include "mod/..."` edge from the sources (the TU set is
+cross-checked against compile_commands.json when available), collapses
+them to module→module edges, and fails on:
+
+  * an edge absent from the frozen DAG (new dependency or back-edge);
+  * a module missing from layers.toml (new directories must be placed in
+    the layering deliberately);
+  * a cycle in the *declared* DAG (a corrupted layers.toml must not be
+    able to bless a cycle);
+  * a src/*.cpp translation unit that compile_commands.json does not
+    build (the file would silently drop out of the build and out of every
+    compiled-path analysis).
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from . import Finding
+from .cxx import includes, read_scrubbed
+
+CHECKER = "layering"
+
+
+def load_layers(config_path: Path) -> dict[str, set[str]]:
+    import tomllib
+    with config_path.open("rb") as fh:
+        data = tomllib.load(fh)
+    modules = data.get("modules", {})
+    return {name: set(deps) for name, deps in modules.items()}
+
+
+def declared_cycle(allowed: dict[str, set[str]]) -> list[str] | None:
+    """Return one cycle in the declared graph, or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in allowed}
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        color[node] = GREY
+        stack.append(node)
+        for dep in sorted(allowed.get(node, ())):
+            if dep not in color:
+                continue
+            if color[dep] == GREY:
+                return stack[stack.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                cycle = visit(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for module in sorted(allowed):
+        if color[module] == WHITE:
+            cycle = visit(module)
+            if cycle:
+                return cycle
+    return None
+
+
+def compiled_tus(compile_commands: Path | None, root: Path) -> set[Path]:
+    """Absolute paths of TUs the build compiles, per compile_commands."""
+    if compile_commands is None or not compile_commands.is_file():
+        return set()
+    entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    tus: set[Path] = set()
+    for entry in entries:
+        f = Path(entry.get("file", ""))
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        try:
+            tus.add(f.resolve())
+        except OSError:
+            continue
+    return tus
+
+
+def check(root: Path, config_path: Path,
+          compile_commands: Path | None) -> list[Finding]:
+    findings: list[Finding] = []
+    allowed = load_layers(config_path)
+
+    cycle = declared_cycle(allowed)
+    if cycle:
+        findings.append(Finding(
+            CHECKER, config_path.name, 0,
+            f"declared layering contains a cycle: {' -> '.join(cycle)}"))
+        return findings
+
+    src = root / "src"
+    if not src.is_dir():
+        findings.append(Finding(CHECKER, "src", 0, "no src/ directory"))
+        return findings
+
+    tus = compiled_tus(compile_commands, root)
+
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cpp", ".hpp", ".h"):
+            continue
+        rel = path.relative_to(root)
+        module = rel.parts[1] if len(rel.parts) > 1 else ""
+        if module not in allowed:
+            findings.append(Finding(
+                CHECKER, rel.as_posix(), 0,
+                f"module '{module}' is not declared in {config_path.name}; "
+                f"place new directories in the layering deliberately"))
+            continue
+        if path.suffix == ".cpp" and tus and path.resolve() not in tus:
+            findings.append(Finding(
+                CHECKER, rel.as_posix(), 0,
+                "translation unit missing from compile_commands.json "
+                "(not built: unlisted in CMake?)"))
+        _, scrubbed = read_scrubbed(path)
+        for line, inc in includes(scrubbed):
+            target = inc.split("/", 1)[0]
+            if "/" not in inc or target not in allowed:
+                # Not a module-rooted project include (e.g. a same-dir
+                # helper header in tests); the lint pass owns include
+                # hygiene, layering only owns module edges.
+                continue
+            if target == module:
+                continue
+            if target not in allowed[module]:
+                findings.append(Finding(
+                    CHECKER, rel.as_posix(), line,
+                    f"illegal include edge {module} -> {target} "
+                    f"(allowed from {module}: "
+                    f"{sorted(allowed[module]) or 'nothing'}); widening "
+                    f"the DAG requires editing {config_path.name}"))
+    return findings

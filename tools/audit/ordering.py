@@ -1,0 +1,143 @@
+"""Iteration-order determinism checker.
+
+The determinism guarantee (same-seed runs are trace-hash identical) dies
+the moment trace-affecting code iterates a container whose order depends
+on a hash seed or on pointer values. This checker scans the
+trace-affecting modules for:
+
+  * declarations of `std::unordered_*` members/locals, and any range-for
+    or `.begin()`/`.cbegin()` iteration over them (cross-TU: members
+    declared in a module's headers are tracked into its .cpp files);
+  * pointer-keyed associative containers (`std::map<T*, ...>`,
+    `std::set<T*>`, and unordered flavours) — ordered or not, their
+    iteration order is an address-space artifact;
+  * range-for directly over a `std::unordered_*` temporary.
+
+Declarations themselves are also flagged: an unordered container in a
+trace-affecting module is a standing invitation for the next iteration
+bug, so keeping one is an explicit decision. Escape hatch: a
+`// audit: ordered-ok <justification>` comment on the flagged line (or
+the line above) suppresses the finding; the justification text is
+mandatory. Escaping a declaration covers storage only — iteration sites
+need their own justification.
+"""
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from . import Finding
+from .cxx import escape_on_line, line_of, read_scrubbed
+
+CHECKER = "ordering"
+
+# Modules whose behaviour feeds event traces, stats, or summaries.
+TRACE_AFFECTING = ("sim", "core", "serverless", "iaas")
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\s*<")
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*"
+    r"[A-Za-z_][\w:<>, ]*?\*")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
+BEGIN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+UNORDERED_TEMP_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*std::unordered_\w+\s*<")
+
+
+def _match_template(scrubbed: str, open_idx: int) -> int:
+    """Offset just past the `>` matching the `<` at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(scrubbed)):
+        c = scrubbed[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def unordered_names(scrubbed: str) -> list[tuple[int, str]]:
+    """(line, declared-name) for every std::unordered_* declaration."""
+    names: list[tuple[int, str]] = []
+    for m in UNORDERED_DECL_RE.finditer(scrubbed):
+        close = _match_template(scrubbed, m.end() - 1)
+        if close < 0:
+            continue
+        after = scrubbed[close:close + 200]
+        name = re.match(r"\s*&?\s*([A-Za-z_]\w*)", after)
+        if name and name.group(1) not in ("const",):
+            names.append((line_of(scrubbed, m.start()), name.group(1)))
+    return names
+
+
+def module_files(root: Path, module: str) -> list[Path]:
+    mod_dir = root / "src" / module
+    if not mod_dir.is_dir():
+        return []
+    return sorted(p for p in mod_dir.rglob("*")
+                  if p.suffix in (".cpp", ".hpp", ".h"))
+
+
+def check(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in TRACE_AFFECTING:
+        files = module_files(root, module)
+        # Pass 1: collect unordered-container names declared anywhere in
+        # the module (headers feed .cpp files of the same module).
+        scans: list[tuple[Path, str, list[str]]] = []
+        module_unordered: set[str] = set()
+        for path in files:
+            raw, scrubbed = read_scrubbed(path)
+            raw_lines = raw.splitlines()
+            scans.append((path, scrubbed, raw_lines))
+            for line, name in unordered_names(scrubbed):
+                module_unordered.add(name)
+                rel = path.relative_to(root).as_posix()
+                if not escape_on_line(raw_lines, line, "ordered-ok"):
+                    findings.append(Finding(
+                        CHECKER, rel, line,
+                        f"std::unordered_* declaration '{name}' in "
+                        f"trace-affecting module '{module}': use std::map/"
+                        f"std::set (or sort before iterating) so traces "
+                        f"and summaries never see hash order; escape with "
+                        f"`// audit: ordered-ok <why>` if iteration "
+                        f"provably never leaves this TU"))
+        # Pass 2: iteration sites (flagged even when the declaration
+        # itself was escaped — the escape covers storage, not iteration).
+        for path, scrubbed, raw_lines in scans:
+            rel = path.relative_to(root).as_posix()
+            for m in RANGE_FOR_RE.finditer(scrubbed):
+                target = m.group(1).split("->")[-1].split(".")[-1]
+                if target in module_unordered:
+                    line = line_of(scrubbed, m.start())
+                    if not escape_on_line(raw_lines, line, "ordered-ok"):
+                        findings.append(Finding(
+                            CHECKER, rel, line,
+                            f"range-for over unordered container "
+                            f"'{target}' in trace-affecting code: "
+                            f"iteration order is hash-seed dependent"))
+            for m in BEGIN_RE.finditer(scrubbed):
+                if m.group(1) in module_unordered:
+                    line = line_of(scrubbed, m.start())
+                    if not escape_on_line(raw_lines, line, "ordered-ok"):
+                        findings.append(Finding(
+                            CHECKER, rel, line,
+                            f"iterator over unordered container "
+                            f"'{m.group(1)}' in trace-affecting code"))
+            for m in UNORDERED_TEMP_FOR_RE.finditer(scrubbed):
+                line = line_of(scrubbed, m.start())
+                if not escape_on_line(raw_lines, line, "ordered-ok"):
+                    findings.append(Finding(
+                        CHECKER, rel, line,
+                        "range-for over an unordered temporary"))
+            for m in POINTER_KEY_RE.finditer(scrubbed):
+                line = line_of(scrubbed, m.start())
+                if not escape_on_line(raw_lines, line, "ordered-ok"):
+                    findings.append(Finding(
+                        CHECKER, rel, line,
+                        "pointer-keyed associative container in "
+                        "trace-affecting code: iteration order is an "
+                        "address-space artifact (key by a stable id "
+                        "instead)"))
+    return findings

@@ -13,21 +13,32 @@ Checks (all are hard failures):
     banned under src/ — library diagnostics flow through caller-supplied
     std::ostream& (see src/obs/exporters.hpp); stderr remains legal for
     fatal contract messages;
+  * raw `std::mutex` / `std::condition_variable` members are banned under
+    src/ outside common/mutex.hpp — concurrency primitives go through the
+    thread-safety-annotated wrappers (common::Mutex/CondVar) so the Clang
+    -Werror=thread-safety leg can check lock discipline;
   * build listings: every .cpp under src/, tests/ and bench/ is listed in
     the corresponding CMakeLists.txt (an unlisted file silently drops its
     tests/symbols from the build).
 
 A line may opt out of the banned-pattern checks with a trailing
 `// lint: allow` comment, for the rare case that needs the raw construct.
+
+Deeper cross-TU analysis (layering DAG, iteration-order determinism,
+contract-coverage ratchet, annotation presence) lives in tools/audit/.
 """
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
 SRC_DIRS = ("src", "tests", "bench", "examples")
+
+# Golden fixture mini-trees seed deliberate violations for the lint/audit
+# self-tests; they are inputs to the analyzers, not part of the build.
+EXCLUDED_PREFIXES = ("tests/tools/fixtures/",)
 
 ALLOW_MARKER = "lint: allow"
 
@@ -58,61 +69,118 @@ WALL_CLOCK_EXEMPT_TOPDIR = "kernels"
 # `snprintf` out of the bare-printf match.
 STDOUT_IN_SRC = re.compile(r"std::cout\b|std::printf\b|(?<![\w.:>])printf\s*\(")
 
+# Concurrency primitives under src/ go through the annotated wrappers in
+# common/mutex.hpp (the one file allowed to hold the raw std types), so
+# Clang's -Wthread-safety lattice sees every lock site.
+RAW_SYNC = re.compile(r"std::(mutex|condition_variable(_any)?|"
+                      r"recursive_mutex|shared_mutex|lock_guard|unique_lock|"
+                      r"scoped_lock)\b")
+RAW_SYNC_ALLOWED = {Path("src/common/mutex.hpp")}
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Crude single-line scrub so banned-pattern checks skip prose."""
-    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
-    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
-    line = re.sub(r"//.*$", "", line)
-    line = re.sub(r"/\*.*?\*/", "", line)
-    return line
+def scrub_line(raw: str, in_block: bool) -> tuple[str, bool]:
+    """Strip comments and string/char literals from one line.
+
+    Returns the remaining code text and the block-comment state after the
+    line. Unlike a per-line regex, this tracks `/*` opened mid-line (after
+    code) and `*/` closing with code after it, so continuation lines of a
+    block comment are never scanned as code.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        if in_block:
+            end = raw.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
+        ch = raw[i]
+        if ch == '"':
+            out.append('""')
+            i += 1
+            while i < n:
+                if raw[i] == "\\":
+                    i += 2
+                    continue
+                if raw[i] == '"':
+                    i += 1
+                    break
+                i += 1
+            continue
+        if ch == "'":
+            out.append("''")
+            i += 1
+            while i < n:
+                if raw[i] == "\\":
+                    i += 2
+                    continue
+                if raw[i] == "'":
+                    i += 1
+                    break
+                i += 1
+            continue
+        if raw.startswith("//", i):
+            break
+        if raw.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block
 
 
-def iter_sources():
+def excluded(repo: Path, path: Path) -> bool:
+    rel = path.relative_to(repo).as_posix()
+    return any(rel.startswith(prefix) for prefix in EXCLUDED_PREFIXES)
+
+
+def iter_sources(repo: Path):
     for top in SRC_DIRS:
-        root = REPO / top
+        root = repo / top
         if not root.is_dir():
             continue
         for path in sorted(root.rglob("*")):
-            if path.suffix in (".cpp", ".hpp", ".h"):
+            if path.suffix in (".cpp", ".hpp", ".h") \
+                    and not excluded(repo, path):
                 yield path
 
 
-def check_file(path: Path, errors: list[str]):
-    rel = path.relative_to(REPO)
+def check_file(repo: Path, path: Path, errors: list[str]):
+    rel = path.relative_to(repo)
     text = path.read_text(encoding="utf-8")
     lines = text.splitlines()
 
     in_block_comment = False
     saw_pragma_once = False
     for lineno, raw in enumerate(lines, start=1):
-        if in_block_comment:
-            if "*/" in raw:
-                in_block_comment = False
+        started_in_block = in_block_comment
+        code, in_block_comment = scrub_line(raw, in_block_comment)
+        if started_in_block and not code.strip():
             continue
 
-        m = INCLUDE_RE.match(raw)
-        if m:
-            inc = m.group(1)
-            if inc.startswith("src/"):
-                errors.append(
-                    f"{rel}:{lineno}: include path must be rooted at src/ "
-                    f'(drop the "src/" prefix): {inc}')
-            if inc.startswith(".."):
-                errors.append(
-                    f"{rel}:{lineno}: relative-parent include (use the "
-                    f"src/-rooted path): {inc}")
+        if not started_in_block:
+            m = INCLUDE_RE.match(raw)
+            if m:
+                inc = m.group(1)
+                if inc.startswith("src/"):
+                    errors.append(
+                        f"{rel}:{lineno}: include path must be rooted at src/ "
+                        f'(drop the "src/" prefix): {inc}')
+                if inc.startswith(".."):
+                    errors.append(
+                        f"{rel}:{lineno}: relative-parent include (use the "
+                        f"src/-rooted path): {inc}")
 
         if path.suffix in (".hpp", ".h") and raw.strip() == "#pragma once":
             saw_pragma_once = True
 
         if ALLOW_MARKER in raw:
-            continue
-        code = strip_comments_and_strings(raw)
-        if raw.lstrip().startswith("/*") and "*/" not in raw:
-            in_block_comment = True
             continue
         for pattern, why in BANNED:
             if pattern.search(code):
@@ -133,6 +201,13 @@ def check_file(path: Path, errors: list[str]):
                 f"{rel}:{lineno}: stdout write in library code "
                 f"(std::cout/printf): write to a caller-supplied "
                 f"std::ostream& instead")
+        if (rel.parts[0] == "src" and RAW_SYNC.search(code)
+                and rel not in RAW_SYNC_ALLOWED):
+            errors.append(
+                f"{rel}:{lineno}: raw std synchronization primitive in "
+                f"library code: use the annotated wrappers in "
+                f"common/mutex.hpp (common::Mutex/MutexLock/UniqueLock/"
+                f"CondVar) so -Wthread-safety can check lock discipline")
 
     if path.suffix in (".hpp", ".h"):
         if re.search(r"#\s*ifndef\s+\w+_H(PP)?_?\b", text):
@@ -142,31 +217,46 @@ def check_file(path: Path, errors: list[str]):
             errors.append(f"{rel}: header missing #pragma once")
 
 
-def check_cmake_listings(errors: list[str]):
+def check_cmake_listings(repo: Path, errors: list[str]):
     for top in ("src", "tests", "bench", "examples"):
-        root = REPO / top
+        root = repo / top
         cmake = root / "CMakeLists.txt"
         if not root.is_dir() or not cmake.is_file():
             continue
         cmake_text = cmake.read_text()
         listed = set(re.findall(r"[\w/.-]+\.cpp", cmake_text))
         # Helper-function style (`amoeba_bench(fig03_peak_load)`) lists the
-        # stem only; accept any bare-word mention of the stem.
-        stems = set(re.findall(r"[\w-]+", cmake_text))
+        # stem only. Accept a stem solely when it appears as the first
+        # argument of a command invocation — a bare mention in a comment,
+        # variable name, or unrelated argument list is not a listing.
+        stems = set(re.findall(r"\b[\w-]+\s*\(\s*([\w-]+)", cmake_text))
         for path in sorted(root.rglob("*.cpp")):
+            if excluded(repo, path):
+                continue
             rel_in_dir = path.relative_to(root).as_posix()
             if rel_in_dir not in listed and path.stem not in stems:
                 errors.append(
-                    f"{path.relative_to(REPO)}: not listed in "
+                    f"{path.relative_to(repo)}: not listed in "
                     f"{top}/CMakeLists.txt (file would silently drop out "
                     f"of the build)")
 
 
-def main() -> int:
+def run(repo: Path) -> list[str]:
     errors: list[str] = []
-    for path in iter_sources():
-        check_file(path, errors)
-    check_cmake_listings(errors)
+    for path in iter_sources(repo):
+        check_file(repo, path, errors)
+    check_cmake_listings(repo, errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="tree to lint (default: the repository this script lives in)")
+    args = parser.parse_args(argv)
+    errors = run(args.root.resolve())
     if errors:
         print(f"lint: {len(errors)} finding(s)", file=sys.stderr)
         for e in errors:
