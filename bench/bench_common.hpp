@@ -20,6 +20,7 @@
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
 #include "obs/exporters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/json.hpp"
 
 namespace amoeba::bench {
@@ -149,8 +150,9 @@ inline core::ServiceArtifacts cached_artifacts(
 }
 
 /// Per-run observability hookup for benches: parse the shared
-/// --trace-out/--metrics-out/--audit-out/--summary-out flags once, attach a
-/// fresh Observer to each managed run, and export with a per-run suffix so
+/// --trace-out/--metrics-out/--audit-out/--summary-out/--profile-out flags
+/// once, attach a fresh Observer (and, with --profile-out, a fresh
+/// obs::Profiler) to each managed run, and export with a per-run suffix so
 /// one flag set covers several runs (fig12 runs float and dd back to back).
 class BenchObservability {
  public:
@@ -158,27 +160,40 @@ class BenchObservability {
       : paths_(obs::parse_export_flags(argc, argv)) {}
 
   [[nodiscard]] bool active() const { return paths_.any(); }
+  [[nodiscard]] bool profiling() const { return !paths_.profile.empty(); }
 
   /// A fresh observer for the next run; nullptr when no flags were given.
   [[nodiscard]] obs::Observer* begin_run() {
+    if (profiling()) profiler_ = std::make_unique<obs::Profiler>();
     if (!paths_.any()) return nullptr;
     observer_ = std::make_unique<obs::Observer>(obs::ObsConfig{});
     return observer_.get();
   }
 
+  /// The current run's self-profiler (nullptr without --profile-out).
+  /// Valid from begin_run() to end_run(); hand it to
+  /// ManagedRunOptions::profiler / ClusterRunOptions::profiler.
+  [[nodiscard]] obs::Profiler* profiler() { return profiler_.get(); }
+
   /// Export the current run's artifacts, inserting "_<tag>" before each
   /// file extension. No-op when begin_run() returned nullptr.
   void end_run(const std::string& tag) {
+    const std::string suffix = tag.empty() ? std::string{} : "_" + tag;
     if (observer_) {
-      obs::write_exports(*observer_, paths_, std::cerr,
-                         tag.empty() ? std::string{} : "_" + tag);
+      obs::write_exports(*observer_, paths_, std::cerr, suffix);
+    }
+    if (profiler_) {
+      obs::write_profile_exports(*profiler_, paths_.profile, std::cerr,
+                                 suffix);
     }
     observer_.reset();
+    profiler_.reset();
   }
 
  private:
   obs::ExportPaths paths_;
   std::unique_ptr<obs::Observer> observer_;
+  std::unique_ptr<obs::Profiler> profiler_;
 };
 
 /// The standard managed-run options for the main evaluation scenario.

@@ -19,6 +19,7 @@ void timeline_for(const workload::FunctionProfile& p,
   auto opt = bench::bench_run_options();
   opt.timeline_period_s = opt.period_s / 64.0;
   opt.observer = bobs.begin_run();
+  opt.profiler = bobs.profiler();
   const auto art = bench::cached_artifacts(p, cluster, cal, prof);
   const auto r = exp::run_managed(p, exp::DeploySystem::kAmoeba, cluster,
                                   cal, art, opt);

@@ -19,8 +19,12 @@
 //
 // Flags: --jobs N (parallel sweep), --smoke (CI: N ∈ {2, 4}, short day),
 //        --json-out PATH (machine-readable summary),
-//        plus the shared observability export flags.
+//        plus the shared observability export flags. With --profile-out the
+//        final max-N rerun also self-profiles the simulator (per-domain,
+//        sim-time-bucketed wall-time attribution) and gates that the
+//        profiler attributes >= 90% of the measured run wall time.
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -188,9 +192,10 @@ int main(int argc, char** argv) {
              static_cast<double>(r.prewarm_denied_total));
   }
 
-  // Gate 1 (bis): a third run of the largest N with observability attached
-  // must execute the same trace as the plain ones — instrumentation is
-  // pure bookkeeping even at cluster scale.
+  // Gate 1 (bis): a third run of the largest N with observability (and,
+  // under --profile-out, the self-profiler) attached must execute the same
+  // trace as the plain ones — instrumentation is pure bookkeeping even at
+  // cluster scale.
   {
     const auto profiles = exp::cluster_tenants(max_n, peak_fraction);
     std::vector<exp::ClusterServiceSpec> specs;
@@ -205,7 +210,33 @@ int main(int argc, char** argv) {
     opt.warmup_s = 60.0;
     opt.seed = cluster.seed;
     opt.observer = observability.begin_run();
+    opt.profiler = observability.profiler();
+    const auto t0 = std::chrono::steady_clock::now();
     const auto repeat = exp::run_cluster(specs, cluster, cal, opt);
+    const double run_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (opt.profiler != nullptr) {
+      // Self-profile gate: the per-domain breakdown must account for at
+      // least 90% of the measured run_cluster wall time — otherwise the
+      // instrumentation has blind spots and the breakdown misleads.
+      const auto profile = opt.profiler->report();
+      const double coverage =
+          run_wall_s > 0.0 ? profile.attributed_s() / run_wall_s : 0.0;
+      std::cout << "\nself-profile (N=" << max_n << "): attributed "
+                << exp::fmt_fixed(profile.attributed_s(), 3) << " s of "
+                << exp::fmt_fixed(run_wall_s, 3) << " s run wall ("
+                << exp::fmt_percent(coverage) << ")\n";
+      json.add("profile_coverage", coverage);
+      json.add("profile_attributed_s", profile.attributed_s());
+      json.add("profile_run_wall_s", run_wall_s);
+      if (coverage < 0.90) {
+        std::cerr << "FAIL: self-profile attributes "
+                  << exp::fmt_percent(coverage)
+                  << " of run wall time (gate: >= 90%)\n";
+        ok = false;
+      }
+    }
     observability.end_run("fig17_n" + std::to_string(max_n));
     const auto& first = cluster_runs.back().run;
     const bool same = repeat.trace_hash == first.trace_hash;
@@ -214,7 +245,10 @@ int main(int argc, char** argv) {
               << std::hex << first.trace_hash << std::dec << ")\n";
     json.add("deterministic", same);
     if (!same) {
-      std::cerr << "FAIL: same-seed cluster runs diverged\n";
+      std::cerr << "FAIL: same-seed cluster runs diverged"
+                << (opt.profiler != nullptr ? " with the profiler attached"
+                                            : "")
+                << "\n";
       ok = false;
     }
   }

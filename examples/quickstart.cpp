@@ -3,6 +3,7 @@
 //
 //   ./examples/quickstart
 //   ./examples/quickstart --trace-out trace.json --metrics-out metrics.jsonl
+//   ./examples/quickstart --profile-out profile.jsonl   # self-profile
 //
 // This is the smallest end-to-end use of the public API:
 //   1. build the two platforms (serverless + IaaS) on a simulation engine;
@@ -18,6 +19,7 @@
 
 #include "core/amoeba.hpp"
 #include "obs/exporters.hpp"
+#include "obs/profiler.hpp"
 #include "workload/load_generator.hpp"
 #include "workload/meters.hpp"
 
@@ -66,79 +68,97 @@ int main(int argc, char** argv) {
   const obs::ExportPaths exports = obs::parse_export_flags(argc, argv);
   obs::Observer observer{obs::ObsConfig{}};
 
-  // 1. The simulated node (Table II of the paper, shrunk for the demo).
-  sim::Engine engine;
-  sim::Rng rng(2020);
-  serverless::PlatformConfig sp_cfg;
-  sp_cfg.cores = 16.0;
-  sp_cfg.pool_memory_mb = 8192.0;
-  serverless::ServerlessPlatform serverless_node(engine, sp_cfg, rng.fork(1));
-  iaas::IaasPlatform iaas_node(engine, iaas::IaasConfig{}, rng.fork(2));
-
-  // 2. The managed microservice and the Amoeba runtime.
-  workload::FunctionProfile svc;
-  svc.name = "hello";
-  svc.exec = {.cpu_seconds = 0.06, .io_bytes = 0.0, .net_bytes = 0.0};
-  svc.code_bytes = 2e6;
-  svc.result_bytes = 2e4;
-  svc.platform_overhead_s = 0.015;
-  svc.rpc_overhead_s = 0.002;
-  svc.memory_mb = 256.0;
-  svc.qos_target_s = 0.4;
-  svc.peak_load_qps = 60.0;
-  svc.validate();
-
-  iaas::VmSpec vm;
-  vm.cores = 6.0;
-  vm.memory_mb = 4096.0;
-  vm.boot_s = 20.0;
-
-  core::AmoebaConfig cfg;
-  cfg.monitor.sample_period_s = 5.0;
-  if (exports.any()) cfg.observer = &observer;
-  core::AmoebaRuntime amoeba_rt(engine, serverless_node, iaas_node,
-                                demo_calibration(sp_cfg), cfg, rng.fork(3));
-  // Cap the service at its VM-equivalent share of the pool (paper §IV-A's
-  // n_max): the discriminant then correctly sends the surge back to IaaS.
-  amoeba_rt.add_service(svc, vm, demo_artifacts(svc, sp_cfg),
-                        static_cast<int>(vm.cores));
-  amoeba_rt.start();
-
-  // 3. A load that starts low (serverless territory), surges (back to
-  //    IaaS), and ebbs again.
-  std::uint64_t completed = 0;
-  stats::SampleSet latencies;
-  auto gen = std::make_unique<workload::ConstantLoadGenerator>(
-      engine, rng.fork(4), 4.0, [&] {
-        amoeba_rt.submit("hello", [&](const workload::QueryRecord& r) {
-          ++completed;
-          latencies.add(r.latency());
-        });
-      });
-  engine.schedule(25.0, [&] { gen->start(); });
-  engine.schedule(200.0, [&] { gen->set_rate(70.0); });
-  engine.schedule(350.0, [&] { gen->set_rate(4.0); });
-  engine.run_until(500.0);
-  gen->stop();
-  amoeba_rt.stop();
-
-  // 4. What happened.
-  std::cout << "queries completed : " << completed << "\n";
-  std::cout << "p95 latency       : " << latencies.quantile(0.95) * 1e3
-            << " ms (target " << svc.qos_target_s * 1e3 << " ms)\n";
-  std::cout << "switch events:\n";
-  for (const auto& ev : amoeba_rt.switch_events()) {
-    std::cout << "  t=" << ev.time << "s  -> " << core::to_string(ev.to)
-              << "  (load " << ev.load_qps << " qps)\n";
+  // Optional self-profile of the simulator (--profile-out): wall time per
+  // domain, bucketed by sim time. Attaching it leaves the run bit-identical.
+  std::unique_ptr<obs::Profiler> profiler;
+  if (!exports.profile.empty()) {
+    profiler = std::make_unique<obs::Profiler>();
   }
-  const auto usage = amoeba_rt.accountant().usage("hello", engine.now());
-  std::cout << "resource usage    : " << usage.cpu_core_seconds
-            << " core-s, " << usage.memory_mb_seconds / 1024.0
-            << " GB-s\n";
-  std::cout << "(pure IaaS would have rented "
-            << vm.cores * (engine.now() - 20.0) << " core-s)\n";
+  obs::ProfilerAttach prof_attach(profiler.get());
+  {
+    // Everything inside this block (setup, the run, collection) is
+    // attributed to the kHarness domain unless a nested scope claims it;
+    // the block closes before the profile is reported below.
+    AMOEBA_PROF_SCOPE(kHarness);
 
+    // 1. The simulated node (Table II of the paper, shrunk for the demo).
+    sim::Engine engine;
+    if (profiler) engine.set_profiler(profiler.get());
+    sim::Rng rng(2020);
+    serverless::PlatformConfig sp_cfg;
+    sp_cfg.cores = 16.0;
+    sp_cfg.pool_memory_mb = 8192.0;
+    serverless::ServerlessPlatform serverless_node(engine, sp_cfg, rng.fork(1));
+    iaas::IaasPlatform iaas_node(engine, iaas::IaasConfig{}, rng.fork(2));
+
+    // 2. The managed microservice and the Amoeba runtime.
+    workload::FunctionProfile svc;
+    svc.name = "hello";
+    svc.exec = {.cpu_seconds = 0.06, .io_bytes = 0.0, .net_bytes = 0.0};
+    svc.code_bytes = 2e6;
+    svc.result_bytes = 2e4;
+    svc.platform_overhead_s = 0.015;
+    svc.rpc_overhead_s = 0.002;
+    svc.memory_mb = 256.0;
+    svc.qos_target_s = 0.4;
+    svc.peak_load_qps = 60.0;
+    svc.validate();
+
+    iaas::VmSpec vm;
+    vm.cores = 6.0;
+    vm.memory_mb = 4096.0;
+    vm.boot_s = 20.0;
+
+    core::AmoebaConfig cfg;
+    cfg.monitor.sample_period_s = 5.0;
+    if (exports.any()) cfg.observer = &observer;
+    core::AmoebaRuntime amoeba_rt(engine, serverless_node, iaas_node,
+                                  demo_calibration(sp_cfg), cfg, rng.fork(3));
+    // Cap the service at its VM-equivalent share of the pool (paper §IV-A's
+    // n_max): the discriminant then correctly sends the surge back to IaaS.
+    amoeba_rt.add_service(svc, vm, demo_artifacts(svc, sp_cfg),
+                          static_cast<int>(vm.cores));
+    amoeba_rt.start();
+
+    // 3. A load that starts low (serverless territory), surges (back to
+    //    IaaS), and ebbs again.
+    std::uint64_t completed = 0;
+    stats::SampleSet latencies;
+    auto gen = std::make_unique<workload::ConstantLoadGenerator>(
+        engine, rng.fork(4), 4.0, [&] {
+          amoeba_rt.submit("hello", [&](const workload::QueryRecord& r) {
+            ++completed;
+            latencies.add(r.latency());
+          });
+        });
+    engine.schedule(25.0, [&] { gen->start(); });
+    engine.schedule(200.0, [&] { gen->set_rate(70.0); });
+    engine.schedule(350.0, [&] { gen->set_rate(4.0); });
+    engine.run_until(500.0);
+    gen->stop();
+    amoeba_rt.stop();
+
+    // 4. What happened.
+    std::cout << "queries completed : " << completed << "\n";
+    std::cout << "p95 latency       : " << latencies.quantile(0.95) * 1e3
+              << " ms (target " << svc.qos_target_s * 1e3 << " ms)\n";
+    std::cout << "switch events:\n";
+    for (const auto& ev : amoeba_rt.switch_events()) {
+      std::cout << "  t=" << ev.time << "s  -> " << core::to_string(ev.to)
+                << "  (load " << ev.load_qps << " qps)\n";
+    }
+    const auto usage = amoeba_rt.accountant().usage("hello", engine.now());
+    std::cout << "resource usage    : " << usage.cpu_core_seconds
+              << " core-s, " << usage.memory_mb_seconds / 1024.0
+              << " GB-s\n";
+    std::cout << "(pure IaaS would have rented "
+              << vm.cores * (engine.now() - 20.0) << " core-s)\n";
+
+  }
   // 5. Export the run's observability artifacts, if asked for.
   obs::write_exports(observer, exports, std::cout);
+  if (profiler) {
+    obs::write_profile_exports(*profiler, exports.profile, std::cout);
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/queueing.hpp"
+#include "obs/profiler.hpp"
 
 namespace amoeba::core {
 
@@ -108,6 +109,9 @@ void AmoebaRuntime::submit(const std::string& service,
   exec_engine_.submit(
       service, [this, service, platform, done = std::move(on_done)](
                    const workload::QueryRecord& rec) {
+        // Deliberately no kStats scope here: this runs per query and the
+        // latency add is cheaper than a profiler scope pair. The periodic
+        // on_sample stats work carries the kStats scope.
         rt_of(service).period_latencies.add(rec.latency());
         if (obs_ != nullptr && obs_->enabled()) {
           record_query(service, rec, platform);
@@ -131,6 +135,7 @@ double AmoebaRuntime::measured_load(const std::string& service) const {
 }
 
 void AmoebaRuntime::on_sample() {
+  AMOEBA_PROF_SCOPE(kController);
   const auto pressures = monitor_.pressures();
   for (auto& [name, rt] : services_) {
     // Pre-switch sampling has served its purpose once the weights are
@@ -217,6 +222,7 @@ void AmoebaRuntime::on_sample() {
     }
   }
   if (obs_ != nullptr && obs_->metrics_on()) {
+    AMOEBA_PROF_SCOPE(kStats);
     obs::MetricsRegistry& m = obs_->metrics();
     m.gauge("pool_memory_in_use_mb").set(serverless_.pool().memory_in_use_mb());
     m.gauge("pool_cold_starts_total")

@@ -1,6 +1,7 @@
 #include "core/contention_monitor.hpp"
 
 #include <utility>
+#include "obs/profiler.hpp"
 
 namespace amoeba::core {
 
@@ -76,6 +77,7 @@ void ContentionMonitor::stop() {
 }
 
 void ContentionMonitor::on_period() {
+  AMOEBA_PROF_SCOPE(kMonitor);
   period_event_ = sim::kNoEvent;
   for (std::size_t i = 0; i < kNumResources; ++i) {
     MeterState& m = meters_[i];

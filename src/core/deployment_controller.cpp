@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include "obs/profiler.hpp"
 
 namespace amoeba::core {
 
@@ -123,6 +124,7 @@ void DeploymentController::observe_latency(
     const std::string& name, double load_qps,
     const std::array<double, kNumResources>& total_pressures,
     double observed_service_s) {
+  AMOEBA_PROF_SCOPE(kController);
   ServiceState& st = state_of(name);
   const bool resident = st.mode == DeployMode::kServerless;
   const auto ext =
@@ -159,6 +161,7 @@ bool DeploymentController::co_tenants_safe_with(
 
 SwitchDecision DeploymentController::tick(const std::string& name,
                                           const ServiceTickInput& input) {
+  AMOEBA_PROF_SCOPE(kController);
   AMOEBA_EXPECTS(input.load_qps >= 0.0);
   AMOEBA_EXPECTS(input.available_containers >= 0);
   ServiceState& st = state_of(name);

@@ -8,6 +8,7 @@
 
 #include "obs/json.hpp"
 #include "workload/meters.hpp"
+#include "obs/profiler.hpp"
 
 namespace amoeba::exp {
 
@@ -63,7 +64,12 @@ ClusterRunResult run_cluster(const std::vector<ClusterServiceSpec>& specs,
   AMOEBA_EXPECTS(opt.meter_reserve_containers >= 3);
 
   const std::size_t n = specs.size();
+  // Self-profiling (same pattern as run_managed): thread attach before the
+  // engine, harness scope covering setup + collection.
+  obs::ProfilerAttach prof_attach(opt.profiler);
+  AMOEBA_PROF_SCOPE(kHarness);
   sim::Engine engine;
+  if (opt.profiler != nullptr) engine.set_profiler(opt.profiler);
   sim::Rng rng(opt.seed);
   serverless::ServerlessPlatform sp(engine, cluster.serverless, rng.fork(1));
   iaas::IaasPlatform ip(engine, cluster.iaas, rng.fork(2));
@@ -213,6 +219,7 @@ ClusterRunResult run_cluster(const std::vector<ClusterServiceSpec>& specs,
   result.pool_evictions = sp.pool().evictions();
   if (faults) result.fault_counters = faults->counters();
   result.trace_hash = engine.trace_hash();
+  result.events_executed = engine.executed();
   return result;
 }
 

@@ -72,6 +72,9 @@ struct ClusterRunOptions {
   /// disabled). DecisionRecords and switch spans carry the service name,
   /// so one sink disentangles N control loops.
   obs::Observer* observer = nullptr;
+  /// Self-profiler for the run (non-owning; nullptr = disabled): same
+  /// semantics as ManagedRunOptions::profiler.
+  obs::Profiler* profiler = nullptr;
   /// Fault injection (one injector seeded from the run seed, shared by the
   /// pool, the VM fleet and every monitor — as in run_managed).
   sim::FaultConfig faults;
@@ -103,6 +106,8 @@ struct ClusterRunResult {
   std::vector<ClusterServiceResult> services;
   double duration_s = 0.0;
   std::uint64_t trace_hash = 0;
+  /// Engine events dispatched during the run (throughput denominators).
+  std::uint64_t events_executed = 0;
   /// Σ over services of their cross-platform usage.
   core::ServiceUsage services_usage;
   /// The contention meters' own usage (probing is honest overhead).

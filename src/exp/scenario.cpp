@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/queueing.hpp"
+#include "obs/profiler.hpp"
 
 namespace amoeba::exp {
 
@@ -144,7 +145,14 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
   // no query can arrive before its platform exists.
   AMOEBA_EXPECTS_MSG(opt.warmup_s >= cluster.iaas.vm_boot_s + 3.0,
                      "warmup must cover the VM boot time");
+  // Self-profiling: attach the calling thread first so the kHarness scope
+  // (setup + collection around the event loop) and the engine's kEngine
+  // loop both land in this run's accumulator. Declared before the engine so
+  // detach happens after the engine is gone.
+  obs::ProfilerAttach prof_attach(opt.profiler);
+  AMOEBA_PROF_SCOPE(kHarness);
   sim::Engine engine;
+  if (opt.profiler != nullptr) engine.set_profiler(opt.profiler);
   sim::Rng rng(opt.seed);
   serverless::ServerlessPlatform sp(engine, cluster.serverless, rng.fork(1));
   iaas::IaasPlatform ip(engine, cluster.iaas, rng.fork(2));
@@ -298,6 +306,7 @@ ManagedRunResult run_managed(const workload::FunctionProfile& foreground,
   }
   if (faults) result.fault_counters = faults->counters();
   result.trace_hash = engine.trace_hash();
+  result.events_executed = engine.executed();
   return result;
 }
 

@@ -21,6 +21,10 @@
 #include "workload/functionbench.hpp"
 #include "workload/load_generator.hpp"
 
+namespace amoeba::obs {
+class Profiler;
+}  // namespace amoeba::obs
+
 namespace amoeba::exp {
 
 /// Hardware/software configuration of the simulated cluster (Table II).
@@ -112,6 +116,12 @@ struct ManagedRunOptions {
   /// nullptr = disabled). Ignored by the pure baselines, which have no
   /// control loop to observe. Takes precedence over `amoeba->observer`.
   obs::Observer* observer = nullptr;
+  /// Self-profiler for the run (non-owning; nullptr = disabled). run_managed
+  /// attaches it to the calling thread and the engine for the duration of
+  /// the run; wall time is attributed per obs::ProfDomain into sim-time
+  /// buckets. Pure bookkeeping — the event trace is identical with or
+  /// without it (Determinism.ProfilerDoesNotPerturbTheSimulation).
+  obs::Profiler* profiler = nullptr;
   /// Fault injection rates. All-zero (the default) runs fault-free and is
   /// byte-identical to a build without the subsystem; any nonzero rate
   /// attaches a FaultInjector (seeded from the run seed, fork 4) to the
@@ -131,6 +141,8 @@ struct ManagedRunResult {
   /// Hash of the executed event trace (timestamp, event id) — identical
   /// across runs iff the simulation was deterministic (see Engine::trace_hash).
   std::uint64_t trace_hash = 0;
+  /// Engine events dispatched during the run (throughput denominators).
+  std::uint64_t events_executed = 0;
   /// Switch-protocol resilience counters (managed systems only).
   std::uint64_t switch_aborts = 0;
   std::uint64_t switch_retries = 0;

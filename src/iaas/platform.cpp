@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace amoeba::iaas {
 
 void IaasConfig::validate() const {
@@ -17,6 +19,7 @@ IaasPlatform::IaasPlatform(sim::Engine& engine, IaasConfig cfg, sim::Rng rng)
 
 void IaasPlatform::register_service(const workload::FunctionProfile& profile,
                                     VmSpec spec) {
+  AMOEBA_PROF_SCOPE(kIaasPool);
   AMOEBA_EXPECTS_MSG(!vms_.contains(profile.name),
                      "service already registered");
   if (spec.boot_s < 0.0) spec.boot_s = cfg_.vm_boot_s;
@@ -51,12 +54,14 @@ const VmSpec& IaasPlatform::spec(const std::string& service) const {
 void IaasPlatform::boot(const std::string& service,
                         std::function<void()> on_ready,
                         std::function<void()> on_failed) {
+  AMOEBA_PROF_SCOPE(kIaasPool);
   vm(service).boot(std::move(on_ready), std::move(on_failed));
 }
 
 void IaasPlatform::drain_and_stop(
     const std::string& service,
     std::function<void(bool completed)> on_drained) {
+  AMOEBA_PROF_SCOPE(kIaasPool);
   vm(service).drain_and_stop(std::move(on_drained));
 }
 
@@ -68,6 +73,7 @@ VmState IaasPlatform::state(const std::string& service) const {
 
 void IaasPlatform::submit(const std::string& service,
                           workload::QueryCompletionFn on_done) {
+  AMOEBA_PROF_SCOPE(kIaasPool);
   vm(service).submit(std::move(on_done));
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/assert.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 
 namespace amoeba::obs {
 
@@ -41,6 +42,7 @@ bool is_async(TracePhase ph) {
 }  // namespace
 
 void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
+  AMOEBA_PROF_SCOPE(kExport);
   out << "{\"traceEvents\":[";
   bool first = true;
   const auto emit_sep = [&] {
@@ -125,6 +127,7 @@ void write_histogram_snapshot(const HistogramSnapshot& h, std::ostream& out) {
 }  // namespace
 
 void write_metrics_jsonl(const MetricsRegistry& metrics, std::ostream& out) {
+  AMOEBA_PROF_SCOPE(kExport);
   for (const MetricsSnapshot& snap : metrics.snapshots()) {
     out << "{\"t\":" << json_number(snap.time_s) << ",\"counters\":";
     write_number_map(snap.counters, out);
@@ -221,6 +224,7 @@ void write_double_array(const double* data, std::size_t n, std::ostream& out) {
 }  // namespace
 
 void write_audit_jsonl(const AuditLog& audit, std::ostream& out) {
+  AMOEBA_PROF_SCOPE(kExport);
   for (const DecisionRecord& r : audit.records()) {
     out << "{\"t\":" << json_number(r.time_s)
         << ",\"service\":" << json_quote(r.service)
@@ -276,6 +280,7 @@ std::string fmt(double v) {
 }  // namespace
 
 void write_summary(const Observer& obs, std::ostream& out) {
+  AMOEBA_PROF_SCOPE(kExport);
   out << "== observability summary ==\n";
 
   if (obs.audit_on()) {
@@ -351,6 +356,8 @@ ExportPaths parse_export_flags(int argc, char** argv) {
       paths.audit = argv[++i];
     } else if (flag == "--summary-out") {
       paths.summary = argv[++i];
+    } else if (flag == "--profile-out") {
+      paths.profile = argv[++i];
     }
   }
   return paths;
@@ -384,6 +391,19 @@ void export_one(const std::string& path, const std::string& suffix,
 }
 
 }  // namespace
+
+void write_profile_exports(const Profiler& profiler, const std::string& path,
+                           std::ostream& diagnostics,
+                           const std::string& suffix) {
+  if (path.empty()) return;
+  const ProfileReport report = profiler.report();
+  export_one(path, suffix, "profile jsonl", diagnostics,
+             [&](std::ostream& out) { write_profile_jsonl(report, out); });
+  export_one(with_suffix(path, "_trace"), suffix, "profile chrome trace",
+             diagnostics,
+             [&](std::ostream& out) { write_profile_chrome_trace(report, out); });
+  write_profile_table(report, diagnostics);
+}
 
 void write_exports(const Observer& obs, const ExportPaths& paths,
                    std::ostream& diagnostics, const std::string& suffix) {

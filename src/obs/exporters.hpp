@@ -44,6 +44,7 @@ struct ExportPaths {
   std::string metrics;
   std::string audit;
   std::string summary;
+  std::string profile;  ///< self-profile (obs::Profiler) JSONL destination
 
   [[nodiscard]] bool any() const {
     return !trace.empty() || !metrics.empty() || !audit.empty() ||
@@ -52,7 +53,8 @@ struct ExportPaths {
 };
 
 /// Scan argv for --trace-out F, --metrics-out F, --audit-out F,
-/// --summary-out F (space-separated). Unrelated arguments are ignored.
+/// --summary-out F, --profile-out F (space-separated). Unrelated arguments
+/// are ignored.
 [[nodiscard]] ExportPaths parse_export_flags(int argc, char** argv);
 
 /// Insert `suffix` before the path's extension ("t.json", "_a" -> "t_a.json").
@@ -63,5 +65,14 @@ struct ExportPaths {
 /// `suffix` distinguishes multiple runs sharing one flag set.
 void write_exports(const Observer& obs, const ExportPaths& paths,
                    std::ostream& diagnostics, const std::string& suffix = {});
+
+class Profiler;
+
+/// Write the self-profile report behind ExportPaths::profile: the JSONL
+/// stream to `path`, Chrome counter events to with_suffix(path, "_trace"),
+/// and the per-domain text table to `diagnostics`.
+void write_profile_exports(const Profiler& profiler, const std::string& path,
+                           std::ostream& diagnostics,
+                           const std::string& suffix = {});
 
 }  // namespace amoeba::obs

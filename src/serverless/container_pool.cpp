@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace amoeba::serverless {
 
 namespace {
@@ -29,6 +31,7 @@ std::optional<ContainerId> ContainerPool::start(
     const std::string& function, double memory_mb, double boot_s,
     std::function<void(ContainerId)> on_ready,
     std::function<void(ContainerId)> on_failed) {
+  AMOEBA_PROF_SCOPE(kServerlessPool);
   AMOEBA_EXPECTS(memory_mb > 0.0);
   AMOEBA_EXPECTS(boot_s >= 0.0);
   AMOEBA_EXPECTS(on_ready != nullptr);
@@ -90,6 +93,7 @@ bool ContainerPool::memory_available(double memory_mb) const {
 }
 
 bool ContainerPool::evict_lru_idle(const std::string& exclude_function) {
+  AMOEBA_PROF_SCOPE(kServerlessPool);
   ContainerId victim = 0;
   double oldest = std::numeric_limits<double>::infinity();
   for (const auto& [id, c] : containers_) {
@@ -108,6 +112,10 @@ bool ContainerPool::evict_lru_idle(const std::string& exclude_function) {
 
 std::optional<ContainerId> ContainerPool::acquire_idle(
     const std::string& function) {
+  // Deliberately unscoped: this is the per-invocation fast path (a map
+  // lookup), and a profiler scope here would cost more than it measures.
+  // Container *lifecycle* bookkeeping (start/evict/destroy/expire) carries
+  // the kServerlessPool scopes.
   auto it = idle_by_fn_.find(function);
   if (it == idle_by_fn_.end() || it->second.empty()) return std::nullopt;
   const ContainerId id = it->second.back();
@@ -133,6 +141,7 @@ void ContainerPool::mark_busy(ContainerId id) {
 }
 
 void ContainerPool::release_to_idle(ContainerId id) {
+  // Unscoped like acquire_idle: per-invocation fast path.
   Container& c = get_mutable(id);
   AMOEBA_EXPECTS(c.state == ContainerState::kBusy);
   c.state = ContainerState::kIdle;
@@ -146,6 +155,7 @@ void ContainerPool::release_to_idle(ContainerId id) {
 }
 
 void ContainerPool::destroy(ContainerId id) {
+  AMOEBA_PROF_SCOPE(kServerlessPool);
   auto it = containers_.find(id);
   AMOEBA_EXPECTS_MSG(it != containers_.end(), "destroying unknown container");
   Container& c = it->second;
@@ -182,6 +192,7 @@ int ContainerPool::destroy_idle(const std::string& function) {
 }
 
 void ContainerPool::expire(ContainerId id) {
+  AMOEBA_PROF_SCOPE(kServerlessPool);
   auto it = containers_.find(id);
   if (it == containers_.end()) return;
   if (it->second.state != ContainerState::kIdle) return;

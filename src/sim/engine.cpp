@@ -4,6 +4,8 @@
 #include <bit>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace amoeba::sim {
 
 namespace {
@@ -126,6 +128,9 @@ bool Engine::step() {
   const HeapEntry top = heap_[0];
   AMOEBA_INVARIANT_VALS(top.at >= now_, top.at, now_);
   now_ = top.at;
+  // Sim-time bucket advance only — the profiler reads no clock here unless
+  // the bucket index changes, so the per-event cost is one branch.
+  if (profiler_ != nullptr) profiler_->engine_dispatch(top.at);
   ++executed_;
   trace_hash_ = mix64(trace_hash_ ^ std::bit_cast<std::uint64_t>(top.at) ^
                       (top.seq() * 0x2545f4914f6cdd1dULL));
@@ -145,15 +150,19 @@ bool Engine::step() {
 
 void Engine::run_until(Time t) {
   AMOEBA_EXPECTS(t >= now_);
+  if (profiler_ != nullptr) profiler_->engine_run_begin();
   while (!heap_.empty() && heap_[0].at <= t) {
     step();
   }
   now_ = t;
+  if (profiler_ != nullptr) profiler_->engine_run_end();
 }
 
 void Engine::run() {
+  if (profiler_ != nullptr) profiler_->engine_run_begin();
   while (step()) {
   }
+  if (profiler_ != nullptr) profiler_->engine_run_end();
 }
 
 }  // namespace amoeba::sim

@@ -22,6 +22,10 @@
 #include "common/assert.hpp"
 #include "sim/inline_callback.hpp"
 
+namespace amoeba::obs {
+class Profiler;
+}  // namespace amoeba::obs
+
 namespace amoeba::sim {
 
 /// Simulated time in seconds since simulation start.
@@ -99,6 +103,19 @@ class Engine {
     return trace_hash_;
   }
 
+  /// Attach an obs::Profiler (nullptr to detach). The profiler is pure
+  /// wall-time bookkeeping: the engine tells it when the run loop starts
+  /// and stops and what simulated time each dispatched event carries, and
+  /// nothing flows back, so the event trace (and trace_hash()) is
+  /// bit-identical with or without one. The profiler must also be attached
+  /// to the thread driving this engine (Profiler::attach_current_thread).
+  void set_profiler(obs::Profiler* p) {
+    AMOEBA_EXPECTS_MSG(p == nullptr || profiler_ == nullptr,
+                       "detach the current profiler before attaching another");
+    profiler_ = p;
+  }
+  [[nodiscard]] obs::Profiler* profiler() const noexcept { return profiler_; }
+
  private:
   using SlotIndex = std::uint32_t;
   static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
@@ -151,6 +168,7 @@ class Engine {
   }
 
   Time now_ = 0.0;
+  obs::Profiler* profiler_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 #include <vector>
+#include "obs/profiler.hpp"
 
 namespace amoeba::sim {
 
@@ -132,6 +133,7 @@ void FairShareResource::bank_progress() {
 }
 
 void FairShareResource::reallocate() {
+  AMOEBA_PROF_SCOPE(kFairShare);
   // Progressive filling: process streams in ascending cap order; each takes
   // min(cap, remaining_capacity / remaining_streams). This is the standard
   // max-min fair ("water-filling") allocation.
@@ -185,6 +187,7 @@ void FairShareResource::reallocate() {
 }
 
 void FairShareResource::on_completion_event() {
+  AMOEBA_PROF_SCOPE(kFairShare);
   completion_event_ = kNoEvent;
   bank_progress();
   // Collect every stream that drained (ties complete together, in id order).

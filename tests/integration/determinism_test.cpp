@@ -21,6 +21,7 @@
 #include "exp/profiling.hpp"
 #include "exp/scenario.hpp"
 #include "obs/observer.hpp"
+#include "obs/profiler.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "workload/functionbench.hpp"
@@ -144,6 +145,62 @@ TEST(Determinism, ObservabilityDoesNotPerturbTheSimulation) {
   EXPECT_FALSE(observer.tracer().events().empty());
   EXPECT_FALSE(observer.metrics().snapshots().empty());
   EXPECT_EQ(observer.tracer().open_spans(), 0u);
+}
+
+TEST(Determinism, ProfilerDoesNotPerturbTheSimulation) {
+  // The self-profiler reads the wall clock but never schedules events or
+  // draws randomness, so attaching it must leave the executed event trace
+  // and the observable query stream bit-identical — while still recording
+  // a nonzero wall-time breakdown of the run it watched.
+  const auto& s = setup();
+  const auto plain = run_managed(s.foreground, DeploySystem::kAmoeba,
+                                 s.cluster, s.calibration, s.artifacts,
+                                 options(7));
+  obs::Profiler profiler;
+  auto opt = options(7);
+  opt.profiler = &profiler;
+  const auto profiled = run_managed(s.foreground, DeploySystem::kAmoeba,
+                                    s.cluster, s.calibration, s.artifacts,
+                                    opt);
+  EXPECT_EQ(plain.trace_hash, profiled.trace_hash)
+      << "attaching the profiler changed the executed event trace";
+  EXPECT_EQ(stream_hash(plain), stream_hash(profiled));
+  EXPECT_EQ(plain.queries, profiled.queries);
+  const auto report = profiler.report();
+  EXPECT_GT(report.attributed_s(), 0.0)
+      << "profiler attached but recorded nothing";
+  EXPECT_FALSE(report.buckets.empty());
+  EXPECT_EQ(report.dropped_scopes, 0u);
+}
+
+TEST(Determinism, ProfilerDoesNotPerturbClusterRuns) {
+  // Same invariant at cluster scale: the N=4 coupled control loops from
+  // ClusterRunIsSeedStable must hash identically with a profiler attached.
+  const auto& s = setup();
+  std::vector<ClusterServiceSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(ClusterServiceSpec{
+        workload::as_tenant(s.foreground, i, 0.4), s.artifacts,
+        static_cast<double>(i) / 4.0});
+  }
+  ClusterRunOptions opt;
+  opt.period_s = 240.0;
+  opt.duration_days = 1.0;
+  opt.warmup_s = 40.0;
+  opt.seed = 42;
+  const auto plain = run_cluster(specs, s.cluster, s.calibration, opt);
+  obs::Profiler profiler;
+  opt.profiler = &profiler;
+  const auto profiled = run_cluster(specs, s.cluster, s.calibration, opt);
+  EXPECT_EQ(plain.trace_hash, profiled.trace_hash)
+      << "attaching the profiler changed the cluster event trace";
+  ASSERT_EQ(plain.services.size(), profiled.services.size());
+  for (std::size_t i = 0; i < plain.services.size(); ++i) {
+    EXPECT_EQ(plain.services[i].queries, profiled.services[i].queries);
+    EXPECT_EQ(hash_double(plain.services[i].p95()),
+              hash_double(profiled.services[i].p95()));
+  }
+  EXPECT_GT(profiler.report().attributed_s(), 0.0);
 }
 
 TEST(Determinism, FaultInjectedRunsAreSeedStable) {

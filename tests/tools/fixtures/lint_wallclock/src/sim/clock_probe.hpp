@@ -1,0 +1,18 @@
+// Seeded violations for the wall-clock escape hatch: one bare read (a
+// finding), one escape without a reason (its own finding), one escape
+// with a reason (clean).
+#pragma once
+
+#include <chrono>
+
+inline double bare_read() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline double escape_without_reason() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // lint: wallclock-ok
+}
+
+inline double escape_with_reason() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // lint: wallclock-ok fixture probe timing never reaches sim state
+}

@@ -74,6 +74,12 @@ class CmakeStemTest(unittest.TestCase):
         assert_errors_match(self, fixture, lint.run(fixture))
 
 
+class WallclockEscapeTest(unittest.TestCase):
+    def test_escape_requires_a_reason(self):
+        fixture = FIXTURES / "lint_wallclock"
+        assert_errors_match(self, fixture, lint.run(fixture))
+
+
 class RepoCleanTest(unittest.TestCase):
     def test_repo_tree_is_lint_clean(self):
         errors = lint.run(REPO)
