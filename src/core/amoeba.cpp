@@ -134,6 +134,17 @@ double AmoebaRuntime::measured_load(const std::string& service) const {
   return rt_of(service).load.rate(engine_.now());
 }
 
+void AmoebaRuntime::set_qos_target(const std::string& service,
+                                   double qos_target_s) {
+  AMOEBA_EXPECTS_VALS(qos_target_s > 0.0, qos_target_s);
+  ServiceRt& rt = rt_of(service);
+  rt.profile.qos_target_s = qos_target_s;
+  controller_.set_qos_target(service, qos_target_s);
+  // The engine keeps its own profile copy for Eq. 7 warm-set sizing.
+  exec_engine_.set_qos_target(service, qos_target_s);
+  AMOEBA_ENSURES(controller_.qos_target(service) == qos_target_s);
+}
+
 void AmoebaRuntime::on_sample() {
   AMOEBA_PROF_SCOPE(kController);
   const auto pressures = monitor_.pressures();
@@ -166,6 +177,7 @@ void AmoebaRuntime::on_sample() {
         dr.load_qps = rt.load.rate(engine_.now());
         dr.total_pressures = pressures;
         dr.qos_target_s = controller_.qos_target(name);
+        dr.stage = cfg_.stage_id;
         obs_->audit().append(std::move(dr));
       }
       continue;
@@ -250,6 +262,7 @@ void AmoebaRuntime::record_decision(const std::string& name,
     dr.forecast_load_qps = input.forecast_load_qps;
     dr.total_pressures = input.total_pressures;
     dr.qos_target_s = qos;
+    dr.stage = cfg_.stage_id;
     dr.n_containers = std::max(1, input.available_containers);
     dr.prewarm_target =
         cfg_.engine.prewarm.containers_for(input.load_qps, qos);

@@ -51,6 +51,10 @@ struct AmoebaConfig {
   /// it to the contention monitor; callers attach it to the platforms
   /// themselves (the scenario layer does all of this from one config).
   sim::FaultInjector* fault_injector = nullptr;
+  /// Call-graph stage index when this runtime manages one stage of a DAG
+  /// (exp::run_callgraph); -1 for standalone services. Carried into every
+  /// DecisionRecord so one audit log disentangles N per-stage control loops.
+  int stage_id = -1;
 };
 
 /// Per-service timelines for the paper's Fig. 12/13.
@@ -100,6 +104,12 @@ class AmoebaRuntime {
 
   /// Current measured load of a service (V_u).
   [[nodiscard]] double measured_load(const std::string& service) const;
+
+  /// Retarget the service's QoS budget everywhere it is consumed: the
+  /// controller's discriminant, the execution engine's warm-set sizing and
+  /// the runtime's own prewarm-target audit field. Driven by the
+  /// end-to-end budget decomposer between monitor ticks.
+  void set_qos_target(const std::string& service, double qos_target_s);
 
   /// Effective timeline sampling period: the configured value, or the
   /// monitor sample period when the config left it at 0. <= 0 = disabled.

@@ -242,6 +242,13 @@ double DeploymentController::qos_target(const std::string& name) const {
   return state_of(name).qos_target_s;
 }
 
+void DeploymentController::set_qos_target(const std::string& name,
+                                          double qos_target_s) {
+  AMOEBA_EXPECTS_VALS(qos_target_s > 0.0, qos_target_s);
+  state_of(name).qos_target_s = qos_target_s;
+  AMOEBA_ENSURES(qos_target(name) == qos_target_s);
+}
+
 const std::optional<Evaluation>& DeploymentController::last_evaluation(
     const std::string& name) const {
   return state_of(name).last_eval;

@@ -117,6 +117,12 @@ class DeploymentController {
   /// QoS latency target registered for the service.
   [[nodiscard]] double qos_target(const std::string& name) const;
 
+  /// Retarget the service's QoS budget (end-to-end budget decomposition
+  /// renormalizes per-stage targets each monitor tick). Takes effect from
+  /// the next tick; the estimator's feature cap keeps its add-time value
+  /// so calibration stays comparable across retargets.
+  void set_qos_target(const std::string& name, double qos_target_s);
+
   /// The Evaluation computed by the most recent tick() for the service
   /// (nullopt before the first tick). Feeds the decision audit log.
   [[nodiscard]] const std::optional<Evaluation>& last_evaluation(

@@ -151,6 +151,14 @@ void HybridExecutionEngine::maintain_warm(const std::string& service,
   serverless_.prewarm(service, n);
 }
 
+void HybridExecutionEngine::set_qos_target(const std::string& service,
+                                           double qos_target_s) {
+  AMOEBA_EXPECTS_VALS(qos_target_s > 0.0, qos_target_s);
+  ServiceState& st = state_of(service);
+  st.profile.qos_target_s = qos_target_s;
+  AMOEBA_ENSURES(st.profile.qos_target_s == qos_target_s);
+}
+
 void HybridExecutionEngine::set_mirroring(const std::string& service,
                                           bool enabled) {
   state_of(service).mirroring = enabled;

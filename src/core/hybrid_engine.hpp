@@ -114,6 +114,12 @@ class HybridExecutionEngine {
   /// No-op when prewarm is disabled (Amoeba-NoP), off-route or switching.
   void maintain_warm(const std::string& service, double load_qps);
 
+  /// Retarget the service's QoS budget: the Eq. 7 warm-set sizing in
+  /// maintain_warm and the prewarm poll read the engine's profile copy, so
+  /// a budget renormalization must update it here as well as in the
+  /// controller (AmoebaRuntime::set_qos_target does both).
+  void set_qos_target(const std::string& service, double qos_target_s);
+
   /// Enable/disable the sampling mirror for one service. The runtime turns
   /// it off once the controller's weight estimator is calibrated — the
   /// paper's pre-switch sampling exists to estimate w₀, not to run

@@ -49,6 +49,8 @@ struct DecisionRecord {
 
   // Capacity and hysteresis state.
   double qos_target_s = 0.0;
+  /// Call-graph stage index of the service's runtime (-1 = standalone).
+  int stage = -1;
   int n_containers = 0;
   int prewarm_target = 0;  ///< Eq. 7 count for the current load
   int votes_to_serverless = 0;

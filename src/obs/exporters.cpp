@@ -256,8 +256,13 @@ void write_audit_jsonl(const AuditLog& audit, std::ostream& out) {
     if (r.observed_p95_s) {
       out << ",\"observed_p95_s\":" << json_number(*r.observed_p95_s);
     }
-    out << ",\"qos_target_s\":" << json_number(r.qos_target_s)
-        << ",\"n_containers\":" << r.n_containers
+    out << ",\"qos_target_s\":" << json_number(r.qos_target_s);
+    // Stage id only when the record came from a call-graph run, so
+    // standalone audit logs (and their golden files) stay byte-stable.
+    if (r.stage >= 0) {
+      out << ",\"stage\":" << r.stage;
+    }
+    out << ",\"n_containers\":" << r.n_containers
         << ",\"prewarm_target\":" << r.prewarm_target
         << ",\"votes_to_serverless\":" << r.votes_to_serverless
         << ",\"votes_to_iaas\":" << r.votes_to_iaas << "}\n";

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 namespace amoeba::core {
 namespace {
 
@@ -115,6 +117,48 @@ TEST(SplitContainerBudget, MinOneGuaranteeUnderStarvationBudget) {
   // Budget == number of services: everyone gets exactly their floor.
   EXPECT_EQ(split_container_budget({40, 40, 40, 40}, 4),
             (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(SplitContainerBudget, SingleServiceGetsMinOfAskAndBudget) {
+  EXPECT_EQ(split_container_budget({10}, 4), (std::vector<int>{4}));
+  EXPECT_EQ(split_container_budget({3}, 10), (std::vector<int>{3}));
+  // Budget 1 still honors the min-1 floor for the lone service.
+  EXPECT_EQ(split_container_budget({10}, 1), (std::vector<int>{1}));
+}
+
+TEST(SplitContainerBudget, AskOfOneTenantKeepsExactlyItsFloor) {
+  // A tenant asking the bare minimum has zero excess: arbitration must
+  // neither inflate it nor starve it, and the whole spare goes elsewhere.
+  const auto g = split_container_budget({1, 99}, 10);
+  EXPECT_EQ(g, (std::vector<int>{1, 9}));
+  const auto h = split_container_budget({1, 1, 50, 50}, 12);
+  EXPECT_EQ(h[0], 1);
+  EXPECT_EQ(h[1], 1);
+  EXPECT_EQ(h[2] + h[3], 10);
+}
+
+TEST(SplitContainerBudget, RejectsInfeasibleInputs) {
+  // Budget below the per-service floor cannot satisfy the no-starvation
+  // guarantee; zero asks are malformed (n_max is always >= 1).
+  EXPECT_THROW((void)split_container_budget({2, 2, 2}, 2), ContractError);
+  EXPECT_THROW((void)split_container_budget({5, 0, 5}, 20), ContractError);
+}
+
+TEST(SplitContainerBudget, OversubscribedGrantsAlwaysSumToTheBudget) {
+  const std::vector<std::vector<int>> cases = {
+      {7, 13, 2, 41, 9}, {128, 1, 128}, {6, 6, 6, 6, 6, 6, 6}};
+  for (const auto& asks : cases) {
+    const int n = static_cast<int>(asks.size());
+    const int total = std::accumulate(asks.begin(), asks.end(), 0);
+    for (int budget = n; budget < total; budget += 3) {
+      const auto g = split_container_budget(asks, budget);
+      EXPECT_EQ(std::accumulate(g.begin(), g.end(), 0), budget);
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        EXPECT_GE(g[i], 1);
+        EXPECT_LE(g[i], asks[i]);
+      }
+    }
+  }
 }
 
 TEST(SplitContainerBudget, LargestRemainderTiesBreakByLowerIndex) {

@@ -17,6 +17,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "exp/callgraph.hpp"
 #include "exp/cluster.hpp"
 #include "exp/profiling.hpp"
 #include "exp/scenario.hpp"
@@ -281,6 +282,114 @@ TEST(Determinism, ClusterRunIsSeedStable) {
   const auto c = run_cluster(specs, s.cluster, s.calibration, reseeded);
   EXPECT_NE(a.trace_hash, c.trace_hash)
       << "different seeds produced identical cluster traces";
+}
+
+/// Golden DAG for the call-graph determinism checks: a diamond of four
+/// phase-identical tenants of the profiled service, one of them pinned.
+workload::CallGraph golden_dag(const Artifacts& s) {
+  workload::CallGraph::Builder b;
+  const int front = b.add_stage("front", workload::as_tenant(s.foreground, 0, 0.4));
+  const int left = b.add_stage("left", workload::as_tenant(s.foreground, 1, 0.4));
+  const int right = b.add_stage("right", workload::as_tenant(s.foreground, 2, 0.4),
+                                workload::StagePin::kIaasOnly);
+  const int back = b.add_stage("back", workload::as_tenant(s.foreground, 3, 0.4));
+  b.add_edge(front, left);
+  b.add_edge(front, right);
+  b.add_edge(left, back);
+  b.add_edge(right, back);
+  return b.build();
+}
+
+CallGraphRunOptions callgraph_options(const workload::CallGraph& g,
+                                      std::uint64_t seed) {
+  CallGraphRunOptions opt;
+  opt.period_s = 240.0;
+  opt.duration_days = 1.0;
+  opt.warmup_s = 40.0;
+  double sum = 0.0;
+  for (int k = 0; k < g.size(); ++k) sum += g.stage(k).profile.qos_target_s;
+  opt.e2e_qos_target_s = 1.2 * sum;
+  opt.seed = seed;
+  opt.node_container_budget = 48;
+  opt.meter_reserve_containers = 6;
+  return opt;
+}
+
+TEST(Determinism, CallGraphRunIsSeedStable) {
+  // Golden-trace regression for DAG propagation + budget renormalization:
+  // the four per-stage control loops, the AND-join query router and the
+  // decomposer tick all share one engine, so a same-seed double run must
+  // be bit-identical and a reseeded run must diverge.
+  const auto& s = setup();
+  const workload::CallGraph g = golden_dag(s);
+  const std::vector<core::ServiceArtifacts> artifacts(
+      static_cast<std::size_t>(g.size()), s.artifacts);
+  const auto opt = callgraph_options(g, 42);
+  const auto a = run_callgraph(g, artifacts, s.cluster, s.calibration, opt);
+  const auto b = run_callgraph(g, artifacts, s.cluster, s.calibration, opt);
+
+  EXPECT_EQ(a.trace_hash, b.trace_hash)
+      << "same-seed call-graph event traces diverged";
+  ASSERT_GT(a.queries_completed, 100u);
+  EXPECT_EQ(a.root_injected, b.root_injected);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(hash_double(a.e2e_p95()), hash_double(b.e2e_p95()));
+  EXPECT_EQ(hash_double(a.total_core_hours()),
+            hash_double(b.total_core_hours()));
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t k = 0; k < a.stages.size(); ++k) {
+    EXPECT_EQ(a.stages[k].finished, b.stages[k].finished)
+        << a.stages[k].name;
+    EXPECT_EQ(hash_double(a.stages[k].final_budget_s),
+              hash_double(b.stages[k].final_budget_s))
+        << a.stages[k].name;
+  }
+
+  auto reseeded = opt;
+  reseeded.seed = 43;
+  const auto c =
+      run_callgraph(g, artifacts, s.cluster, s.calibration, reseeded);
+  EXPECT_NE(a.trace_hash, c.trace_hash)
+      << "different seeds produced identical call-graph traces";
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbCallGraphRuns) {
+  // Observer (spans incl. the e2e async track, metrics, audit) and
+  // profiler are pure bookkeeping for call-graph runs too; the audit log
+  // must additionally carry the canonical stage index of every decision.
+  const auto& s = setup();
+  const workload::CallGraph g = golden_dag(s);
+  const std::vector<core::ServiceArtifacts> artifacts(
+      static_cast<std::size_t>(g.size()), s.artifacts);
+  const auto opt = callgraph_options(g, 42);
+  const auto plain =
+      run_callgraph(g, artifacts, s.cluster, s.calibration, opt);
+
+  obs::Observer observer{obs::ObsConfig{}};
+  obs::Profiler profiler;
+  auto instrumented = opt;
+  instrumented.observer = &observer;
+  instrumented.profiler = &profiler;
+  const auto observed =
+      run_callgraph(g, artifacts, s.cluster, s.calibration, instrumented);
+
+  EXPECT_EQ(plain.trace_hash, observed.trace_hash)
+      << "instrumenting a call-graph run changed the executed event trace";
+  EXPECT_EQ(plain.root_injected, observed.root_injected);
+  EXPECT_EQ(hash_double(plain.e2e_p95()), hash_double(observed.e2e_p95()));
+
+  ASSERT_FALSE(observer.audit().empty());
+  bool stage_seen = false;
+  for (const auto& rec : observer.audit().records()) {
+    EXPECT_GE(rec.stage, 0) << rec.service;
+    EXPECT_LT(rec.stage, g.size()) << rec.service;
+    EXPECT_EQ(rec.service, g.service_name(rec.stage));
+    stage_seen = true;
+  }
+  EXPECT_TRUE(stage_seen);
+  EXPECT_FALSE(observer.tracer().events().empty());
+  EXPECT_EQ(observer.tracer().open_spans(), 0u);
+  EXPECT_GT(profiler.report().attributed_s(), 0.0);
 }
 
 TEST(Determinism, ControlLoopTraceDivergesUnderDifferentSeed) {

@@ -101,5 +101,39 @@ TEST(DiurnalTrace, SampleDayRequiresTwoPoints) {
   EXPECT_THROW((void)trace.sample_day(1), ContractError);
 }
 
+TEST(DiurnalTrace, WrapsExactlyAtTheDayBoundary) {
+  DiurnalTrace trace(base_config());
+  EXPECT_DOUBLE_EQ(trace.base_rate(0.0), trace.base_rate(1000.0));
+  EXPECT_DOUBLE_EQ(trace.base_rate(0.0), trace.base_rate(17.0 * 1000.0));
+  // sample_day's first point is the day origin.
+  EXPECT_DOUBLE_EQ(trace.sample_day(100).front(), trace.base_rate(0.0));
+}
+
+TEST(DiurnalTrace, DayEdgeIsContinuous) {
+  // The two-rush pattern must not jump across the midnight seam: rates just
+  // before and just after the day boundary agree to first order.
+  DiurnalTrace trace(base_config());
+  const double period = trace.config().period_s;
+  const double eps = 1e-6 * period;
+  EXPECT_NEAR(trace.base_rate(period - eps), trace.base_rate(period + eps),
+              1e-2);
+  // Same seam under a phase shift, which moves the pattern but not the wrap.
+  auto cfg = base_config();
+  cfg.phase = 0.37;
+  DiurnalTrace shifted(cfg);
+  EXPECT_NEAR(shifted.base_rate(period - eps), shifted.base_rate(period + eps),
+              1e-2);
+}
+
+TEST(DiurnalTrace, FarFutureDaysKeepThePattern) {
+  // Wraparound must stay exact after many simulated days, not drift with
+  // floating-point accumulation over absolute time.
+  DiurnalTrace trace(base_config());
+  for (double t : {10.0, 350.0, 780.0, 999.5}) {
+    EXPECT_NEAR(trace.base_rate(t), trace.base_rate(t + 365.0 * 1000.0),
+                1e-6);
+  }
+}
+
 }  // namespace
 }  // namespace amoeba::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/functionbench.hpp"
+
 namespace amoeba::workload {
 namespace {
 
@@ -66,6 +68,48 @@ TEST(FunctionProfile, IdealLatencyRequiresPositiveRates) {
   auto p = valid_profile();
   EXPECT_THROW((void)p.ideal_serverless_latency(0.0, 1.0), ContractError);
   EXPECT_THROW((void)p.ideal_iaas_latency(1.0, -1.0), ContractError);
+}
+
+TEST(FunctionProfile, IdealLatenciesRoundTripThroughTheirPhases) {
+  // Serverless minus its extra phases (platform auth, code fetch, result
+  // upload, minus the IaaS rpc handling) must land exactly back on the
+  // IaaS ideal: the two formulas share one execution core.
+  auto p = valid_profile();
+  const double disk = 2e9, net = 3e9;
+  const double serverless_extras = p.platform_overhead_s +
+                                   p.code_bytes / disk +
+                                   p.result_bytes / net - p.rpc_overhead_s;
+  EXPECT_NEAR(p.ideal_serverless_latency(disk, net) - serverless_extras,
+              p.ideal_iaas_latency(disk, net), 1e-12);
+}
+
+TEST(FunctionProfile, AsTenantRoundTripsEverythingButNameAndPeak) {
+  const auto base = valid_profile();
+  const auto t = as_tenant(base, 7, 1.0);
+  EXPECT_EQ(t.name, "svc#7");
+  EXPECT_DOUBLE_EQ(t.peak_load_qps, base.peak_load_qps);
+  EXPECT_DOUBLE_EQ(t.exec.cpu_seconds, base.exec.cpu_seconds);
+  EXPECT_DOUBLE_EQ(t.exec.io_bytes, base.exec.io_bytes);
+  EXPECT_DOUBLE_EQ(t.exec.net_bytes, base.exec.net_bytes);
+  EXPECT_DOUBLE_EQ(t.code_bytes, base.code_bytes);
+  EXPECT_DOUBLE_EQ(t.result_bytes, base.result_bytes);
+  EXPECT_DOUBLE_EQ(t.platform_overhead_s, base.platform_overhead_s);
+  EXPECT_DOUBLE_EQ(t.rpc_overhead_s, base.rpc_overhead_s);
+  EXPECT_DOUBLE_EQ(t.memory_mb, base.memory_mb);
+  EXPECT_DOUBLE_EQ(t.cpu_cv, base.cpu_cv);
+  EXPECT_DOUBLE_EQ(t.qos_target_s, base.qos_target_s);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_DOUBLE_EQ(t.ideal_iaas_latency(1e9, 1e9),
+                   base.ideal_iaas_latency(1e9, 1e9));
+
+  const auto half = as_tenant(base, 0, 0.5);
+  EXPECT_EQ(half.name, "svc#0");
+  EXPECT_DOUBLE_EQ(half.peak_load_qps, 0.5 * base.peak_load_qps);
+  EXPECT_DOUBLE_EQ(half.qos_target_s, base.qos_target_s);
+
+  EXPECT_THROW((void)as_tenant(base, -1, 0.5), ContractError);
+  EXPECT_THROW((void)as_tenant(base, 0, 0.0), ContractError);
+  EXPECT_THROW((void)as_tenant(base, 0, 1.5), ContractError);
 }
 
 TEST(Sensitivity, CpuBoundClassifiesHighCpu) {

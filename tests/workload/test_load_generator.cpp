@@ -135,6 +135,51 @@ TEST(PoissonLoadGenerator, ZeroRateEmitsNothing) {
   EXPECT_EQ(arrivals, 0u);
 }
 
+TEST(PoissonLoadGenerator, SameSeedReproducesTheArrivalSequence) {
+  auto arrivals_for = [](std::uint64_t seed) {
+    sim::Engine engine;
+    std::vector<double> times;
+    PoissonLoadGenerator gen(
+        engine, sim::Rng(seed),
+        [](double t) { return t < 50.0 ? 30.0 : 8.0; }, 30.0,
+        [&] { times.push_back(engine.now()); });
+    gen.start();
+    engine.run_until(100.0);
+    gen.stop();
+    return times;
+  };
+  const auto a = arrivals_for(17);
+  const auto b = arrivals_for(17);
+  const auto c = arrivals_for(18);
+  ASSERT_GT(a.size(), 500u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i], b[i]) << "arrival " << i;
+  }
+  EXPECT_NE(a, c);
+}
+
+TEST(ConstantLoadGenerator, SameSeedReproducesTheArrivalSequence) {
+  auto arrivals_for = [](std::uint64_t seed) {
+    sim::Engine engine;
+    std::vector<double> times;
+    ConstantLoadGenerator gen(engine, sim::Rng(seed), 40.0,
+                              [&] { times.push_back(engine.now()); });
+    gen.start();
+    engine.run_until(50.0);
+    gen.stop();
+    return times;
+  };
+  const auto a = arrivals_for(21);
+  const auto b = arrivals_for(21);
+  ASSERT_GT(a.size(), 500u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i], b[i]) << "arrival " << i;
+  }
+  EXPECT_NE(a, arrivals_for(22));
+}
+
 TEST(PoissonLoadGenerator, DestructorCancelsPendingEvent) {
   sim::Engine engine;
   {
